@@ -1,0 +1,11 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.core.workload import paper_workload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The paper's evaluation workload (ResNet-50 + Rep-Net @ ImageNet)."""
+    return paper_workload()

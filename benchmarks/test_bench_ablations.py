@@ -1,0 +1,157 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation perturbs one architectural lever of the hybrid design and
+verifies the direction of the effect on the paper's metrics:
+
+* N:M pattern sweep (1:16 .. 4:8) — storage/EDP trade-off,
+* MRAM write-energy sweep — why the backbone must be frozen,
+* activation-bus width sweep — where the dense baselines saturate,
+* hybrid vs single-technology designs at matched update scope.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.designs import DenseCIMDesign, HybridSparseDesign
+from repro.energy.tech import DEFAULT_TECH, MRAMPESpec, TechnologyModel
+from repro.sparsity import NMPattern
+
+
+class TestPatternSweep:
+    PATTERNS = [NMPattern(1, 16), NMPattern(1, 8), NMPattern(1, 4),
+                NMPattern(2, 4)]
+
+    def test_bench_pattern_sweep(self, benchmark, workload):
+        def sweep():
+            return {str(p): HybridSparseDesign(p).area(workload).total_mm2
+                    for p in self.PATTERNS}
+        areas = benchmark(sweep)
+        assert len(areas) == 4
+
+    def test_area_monotone_in_density(self, workload):
+        areas = [HybridSparseDesign(p).area(workload).total_mm2
+                 for p in self.PATTERNS]
+        # density: 1/16 < 1/8 < 1/4 < 1/2 -> area strictly increasing
+        assert areas == sorted(areas)
+
+    def test_training_energy_monotone_in_density(self, workload):
+        energies = [HybridSparseDesign(p).training_step(workload).energy_j
+                    for p in self.PATTERNS]
+        assert energies == sorted(energies)
+
+
+class TestWriteEnergyAblation:
+    """If MRAM writes were as cheap as SRAM's, freezing the backbone would
+    stop mattering for write *energy* — but the latency penalty remains the
+    dominant term, so MRAM FT-all stays far worse: the hybrid's case rests
+    on both asymmetries."""
+
+    def _tech_with_mram_write(self, pj_per_bit):
+        mram = dataclasses.replace(DEFAULT_TECH.mram,
+                                   write_energy_pj_per_bit=pj_per_bit)
+        return TechnologyModel(sram=DEFAULT_TECH.sram, mram=mram,
+                               global_blocks=DEFAULT_TECH.global_blocks)
+
+    def test_write_energy_scales_training_cost(self, workload):
+        cheap = DenseCIMDesign(
+            "mram", "all", tech=self._tech_with_mram_write(0.002))
+        expensive = DenseCIMDesign(
+            "mram", "all", tech=self._tech_with_mram_write(0.48))
+        e_cheap = cheap.training_step(workload).energy.write_pj
+        e_exp = expensive.training_step(workload).energy.write_pj
+        assert e_exp == pytest.approx(240 * e_cheap, rel=0.01)
+
+    def test_latency_asymmetry_dominates_edp(self, workload):
+        """Even with free writes, MRAM in-place training loses on EDP."""
+        free_writes = DenseCIMDesign(
+            "mram", "all", tech=self._tech_with_mram_write(1e-6))
+        sram = DenseCIMDesign("sram", "all")
+        assert free_writes.training_step(workload).edp_js > \
+            10 * sram.training_step(workload).edp_js
+
+
+class TestBusWidthAblation:
+    def test_wider_bus_speeds_dense_baseline(self, workload):
+        base = DenseCIMDesign("sram", "all")
+        t_narrow = base.inference(workload).latency_s
+
+        class WideBus(DenseCIMDesign):
+            ACTIVATION_BUS_BITS = 1024
+
+        t_wide = WideBus("sram", "all").inference(workload).latency_s
+        assert t_wide < t_narrow
+
+    def test_bench_bus_sweep(self, benchmark, workload):
+        def sweep():
+            out = {}
+            for bits in (64, 128, 256, 512):
+                cls = type(f"Bus{bits}", (DenseCIMDesign,),
+                           {"ACTIVATION_BUS_BITS": bits})
+                out[bits] = cls("sram", "all").inference(workload).latency_s
+            return out
+        latencies = benchmark(sweep)
+        vals = [latencies[b] for b in (64, 128, 256, 512)]
+        assert vals == sorted(vals, reverse=True)  # wider -> faster
+
+
+class TestHybridVsSingleTech:
+    """The central design claim: at the RepNet update scope, the hybrid
+    beats BOTH single-technology designs on training EDP while also beating
+    both on area."""
+
+    def test_bench_design_comparison(self, benchmark, workload):
+        def run():
+            h = HybridSparseDesign(NMPattern(1, 8))
+            s = DenseCIMDesign("sram", "learnable")
+            m = DenseCIMDesign("mram", "learnable")
+            return {
+                "hybrid_edp": h.training_step(workload).edp_js,
+                "sram_edp": s.training_step(workload).edp_js,
+                "mram_edp": m.training_step(workload).edp_js,
+                "hybrid_area": h.area(workload).total_mm2,
+                "sram_area": s.area(workload).total_mm2,
+                "mram_area": m.area(workload).total_mm2,
+            }
+        r = benchmark(run)
+        assert r["hybrid_edp"] < r["sram_edp"]
+        assert r["hybrid_edp"] < r["mram_edp"]
+        assert r["hybrid_area"] < r["sram_area"]
+        assert r["hybrid_area"] < r["mram_area"]
+
+
+class TestChannelPermutationAblation:
+    """Extension (paper ref [19]): channel permutation before N:M grouping
+    recovers saliency that aligned grouping would drop."""
+
+    def test_bench_permutation_search(self, benchmark):
+        import numpy as np
+        from repro.sparsity import NMPattern, find_channel_permutation
+
+        rng = np.random.default_rng(0)
+        sal = np.abs(rng.standard_normal((64, 16)))
+        perm, best = benchmark.pedantic(
+            lambda: find_channel_permutation(sal, NMPattern(1, 4),
+                                             iterations=500,
+                                             rng=np.random.default_rng(1)),
+            rounds=1, iterations=1)
+        assert len(perm) == 64
+
+    def test_permutation_recovers_clustered_saliency(self):
+        import numpy as np
+        from repro.sparsity import (NMPattern, find_channel_permutation,
+                                    retained_saliency)
+
+        rng = np.random.default_rng(2)
+        pattern = NMPattern(1, 4)
+        # Correlated channels: salient channels cluster in groups.
+        sal = np.full((32, 8), 0.01)
+        sal[::8] = 5.0
+        sal[1::8] = 5.0
+        sal[2::8] = 5.0
+        sal[3::8] = 5.0   # 4 salient channels aligned in each group of 4
+        base = retained_saliency(sal, pattern)
+        _, best = find_channel_permutation(sal, pattern, iterations=3000,
+                                           restarts=3,
+                                           rng=np.random.default_rng(3))
+        assert best > base * 1.5

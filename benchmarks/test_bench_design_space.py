@@ -1,0 +1,35 @@
+"""Benchmark: design-space exploration (Pareto sweep over the levers)."""
+
+import pytest
+
+from repro.core.design_space import explore, pareto_front, sweep
+from repro.sparsity import NMPattern
+
+
+def test_bench_design_space_sweep(benchmark, workload):
+    result = benchmark(explore, workload)
+    assert result["pareto"], "Pareto front must be non-empty"
+
+
+class TestDesignSpaceShape:
+    @pytest.fixture(scope="class")
+    def result(self, workload):
+        return explore(workload)
+
+    def test_paper_points_on_or_near_front(self, result):
+        """The paper's chosen configurations (1:4, 1:8 at the default bus)
+        should be competitive — on the front or dominated only by other
+        bus-width variants of themselves."""
+        pareto_patterns = {p["pattern"] for p in result["pareto"]}
+        assert "1:8" in pareto_patterns or "1:4" in pareto_patterns
+
+    def test_front_spans_tradeoff(self, result):
+        """The front covers both the low-area and the high-density ends."""
+        front = result["pareto"]
+        densities = [p["density"] for p in front]
+        areas = [p["area_mm2"] for p in front]
+        assert max(densities) > min(densities)
+        assert max(areas) > min(areas)
+
+    def test_front_smaller_than_sweep(self, result):
+        assert 0 < result["pareto_fraction"] <= 1.0

@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Fig. 7 (inference power & area vs SRAM[29]).
+
+Paper shape being reproduced:
+* area: SRAM 1.0 > MRAM 0.48 > Hybrid(1:4) ~0.37 > Hybrid(1:8),
+* power (log scale): SRAM highest by >100x; MRAM lowest; hybrids between.
+"""
+
+import pytest
+
+from repro.harness.fig7 import build_fig7
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return build_fig7()
+
+
+def test_bench_fig7(benchmark, workload):
+    result = benchmark(build_fig7, workload)
+    assert len(result["rows"]) == 4
+
+
+class TestFig7Shape:
+    def test_area_series(self, fig7):
+        rels = {r["design"]: r["area_rel"] for r in fig7["rows"]}
+        assert rels["SRAM[29]"] == 1.0
+        assert rels["MRAM[30]"] == pytest.approx(0.48, abs=0.03)
+        assert rels["Hybrid(1:4)"] == pytest.approx(0.37, abs=0.06)
+        assert rels["Hybrid(1:8)"] < rels["Hybrid(1:4)"]
+
+    def test_power_series(self, fig7):
+        rels = {r["design"]: r["power_rel"] for r in fig7["rows"]}
+        assert rels["SRAM[29]"] == 1.0
+        # log-scale plot: everything else is orders of magnitude below
+        for key in ("MRAM[30]", "Hybrid(1:4)", "Hybrid(1:8)"):
+            assert rels[key] < 0.1
+        # hybrid sits between SRAM and the MRAM floor
+        assert rels["MRAM[30]"] < rels["Hybrid(1:4)"] < rels["SRAM[29]"]
+
+    def test_leakage_split(self, fig7):
+        rows = {r["design"]: r for r in fig7["rows"]}
+        sram = rows["SRAM[29]"]
+        mram = rows["MRAM[30]"]
+        # SRAM's leakage share exceeds MRAM's (non-volatile array)...
+        assert sram["leakage_rel"] / sram["power_rel"] > \
+            mram["leakage_rel"] / mram["power_rel"]
+        # ...and in absolute terms SRAM leaks orders of magnitude more.
+        assert sram["leakage_rel"] > 100 * mram["leakage_rel"]

@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Fig. 8 (continual-learning EDP vs Ours 1:8).
+
+Paper shape being reproduced (log-scale, normalized to Ours 1:8 = 1):
+finetune-all >> RepNet-without-sparsity >> Ours; MRAM > SRAM within each
+group (write energy/latency asymmetry); span of several decades.
+"""
+
+import pytest
+
+from repro.harness.fig8 import build_fig8
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return build_fig8()
+
+
+def test_bench_fig8(benchmark, workload):
+    result = benchmark(build_fig8, workload)
+    assert len(result["rows"]) == 6
+
+
+class TestFig8Shape:
+    def _by(self, fig8):
+        return {(r["group"], r["design"]): r["edp_rel"] for r in fig8["rows"]}
+
+    def test_ours_is_reference_and_lowest(self, fig8):
+        by = self._by(fig8)
+        assert by[("RepNet with Sparsity", "Ours (1:8)")] == pytest.approx(1.0)
+        ours = max(by[("RepNet with Sparsity", "Ours (1:4)")],
+                   by[("RepNet with Sparsity", "Ours (1:8)")])
+        others = [v for k, v in by.items() if k[0] != "RepNet with Sparsity"]
+        assert ours < min(others)
+
+    def test_group_ordering(self, fig8):
+        by = self._by(fig8)
+        for design in ("SRAM[29]", "MRAM[30]"):
+            assert by[("Finetune All Weight", design)] > \
+                by[("RepNet without Sparsity", design)]
+
+    def test_mram_training_penalty(self, fig8):
+        by = self._by(fig8)
+        assert by[("Finetune All Weight", "MRAM[30]")] > \
+            10 * by[("Finetune All Weight", "SRAM[29]")]
+
+    def test_decades_of_span(self, fig8):
+        vals = [r["edp_rel"] for r in fig8["rows"]]
+        assert max(vals) / min(vals) > 100

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Table 1 (accuracy study).
+
+Runs the paper's accuracy pipeline — backbone pre-training, magnitude N:M
+pruning + masked recovery, per-task gradient-calibrated sparse fine-tuning,
+INT8 PTQ — at the fast budget, and checks the paper's qualitative shape.
+
+The full-budget run is ``python -m repro.harness.table1`` (about 15 min);
+its output is recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness.table1 import Table1Config, render_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(Table1Config.fast())
+
+
+def test_bench_table1_fast(benchmark):
+    """Wall-clock of the fast-budget Table 1 pipeline (single round)."""
+    result = benchmark.pedantic(
+        lambda: run_table1(Table1Config.fast()), rounds=1, iterations=1)
+    assert len(result["rows"]) == 5
+
+
+class TestTable1Shape:
+    """Shape assertions on the fast-budget result (loose: tiny budgets)."""
+
+    def test_rows_complete(self, table1_result):
+        for row in table1_result["rows"]:
+            assert "backbone@base" in row
+            for task in table1_result["tasks"]:
+                assert task in row
+
+    def test_dense_beats_chance_everywhere(self, table1_result):
+        dense = table1_result["rows"][0]
+        # fast config: pets has >= 2 classes -> chance <= 0.5
+        for task in table1_result["tasks"]:
+            assert dense[task] > 0.2
+
+    def test_render_smoke(self, table1_result):
+        out = render_table1(table1_result)
+        assert "Table 1" in out

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2 (hardware specs) and verify the leaf values."""
+
+from repro.harness.table2 import build_table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(build_table2)
+    # Spot-check the published numbers survive the regeneration path.
+    assert result["sram_pe"]["Index Decoder"]["area_mm2"] == 0.06
+    assert result["mram_pe"]["Adder Tree"]["power_mw"] == 16.3
+    assert result["mtj_device"]["resistance_ap_ohm"] == 8759.0
+
+
+def test_bench_table2_mtj_energy_matches(benchmark):
+    """The MTJ compact model lands on the published set/reset energy."""
+    result = benchmark(build_table2)
+    dev = result["mtj_device"]
+    modelled = dev["set_reset_energy_pj_model"]
+    paper = dev["set_reset_energy_pj_paper"]
+    assert abs(modelled - paper) / paper < 0.25

@@ -1,0 +1,76 @@
+"""Design-space exploration over the paper-scale workload.
+
+Sweeps the N:M pattern across the hardware's supported range and compares
+the hybrid design against both dense baselines on the three axes of the
+paper's evaluation: area (Fig. 7 right), inference power (Fig. 7 left) and
+continual-learning EDP (Fig. 8).  Also prints the storage/core mapping view
+(the "26 MB dense needs dual-core, compressed fits one core" observation).
+
+Run: ``python examples/accelerator_design_space.py``
+"""
+
+from repro.core import (CoreConfig, DenseCIMDesign, HybridMapper,
+                        HybridSparseDesign, dense_core_requirement,
+                        paper_workload)
+from repro.harness.reporting import format_table
+from repro.sparsity import NMPattern
+
+workload = paper_workload()
+print(f"workload: {workload.name}")
+print(f"  dense storage: {workload.dense_bytes() / 2**20:.1f} MB "
+      f"(INT8), learnable fraction {workload.learnable_fraction:.1%}, "
+      f"{workload.total_macs / 1e9:.1f} GMACs/inference")
+print(f"  dense mapping needs {dense_core_requirement(workload)} cores "
+      f"of {CoreConfig().mram_capacity_bytes / 2**20:.0f} MB\n")
+
+# ------------------------------------------------------------ pattern sweep
+rows = []
+sram_ref = DenseCIMDesign("sram", "all", name="SRAM[29]")
+ref_area = sram_ref.area(workload).total_mm2
+ref_power = sram_ref.inference(workload).avg_power_mw
+edp_ref = None
+
+for pattern in [NMPattern(1, 16), NMPattern(1, 8), NMPattern(2, 8),
+                NMPattern(1, 4), NMPattern(2, 4)]:
+    design = HybridSparseDesign(pattern)
+    area = design.area(workload).total_mm2
+    perf = design.inference(workload)
+    train = design.training_step(workload)
+    mapper = HybridMapper(pattern)
+    storage = mapper.storage_report(workload)
+    if edp_ref is None and str(pattern) == "1:8":
+        edp_ref = train.edp_js
+    rows.append([str(pattern), f"{pattern.sparsity:.0%}",
+                 storage["cores_used"],
+                 (storage["sram_bytes"] + storage["mram_bytes"]) / 2**20,
+                 area / ref_area,
+                 perf.avg_power_mw / ref_power,
+                 train.edp_js])
+
+edp_ref = edp_ref or rows[0][-1]
+for row in rows:
+    row[-1] = row[-1] / edp_ref
+
+print(format_table(
+    ["Pattern", "Sparsity", "Cores", "Storage (MB)", "Area (rel SRAM)",
+     "Power (rel SRAM)", "Train EDP (rel 1:8)"],
+    rows, title="Hybrid design: N:M pattern sweep"))
+
+# ---------------------------------------------------- baseline comparison
+print()
+baseline_rows = []
+for label, design in [
+        ("SRAM[29] dense", DenseCIMDesign("sram", "learnable")),
+        ("MRAM[30] dense", DenseCIMDesign("mram", "learnable")),
+        ("Hybrid 1:4", HybridSparseDesign(NMPattern(1, 4))),
+        ("Hybrid 1:8", HybridSparseDesign(NMPattern(1, 8)))]:
+    area = design.area(workload).total_mm2
+    perf = design.inference(workload)
+    train = design.training_step(workload)
+    baseline_rows.append([label, area / ref_area,
+                          perf.avg_power_mw / ref_power,
+                          train.edp_js / edp_ref])
+
+print(format_table(
+    ["Design", "Area (rel)", "Power (rel)", "RepNet-train EDP (rel 1:8)"],
+    baseline_rows, title="Hybrid vs single-technology designs"))

@@ -1,0 +1,26 @@
+"""repro — MRAM-SRAM hybrid sparse PIM accelerator for on-device learning.
+
+A full reproduction of *"Efficient Memory Integration: MRAM-SRAM Hybrid
+Accelerator for Sparse On-Device Learning"* (DAC 2024): the N:M-sparse
+Rep-Net continual-learning algorithm stack, bit-exact functional simulators
+of both sparse PIM PE circuits, and the architecture-level area/power/EDP
+models behind the paper's evaluation.
+
+Sub-packages
+------------
+``repro.nn``        numpy autograd training substrate
+``repro.sparsity``  N:M structured sparsity (masks, saliency, pruning)
+``repro.quant``     INT8 quantization (observers, PTQ)
+``repro.repnet``    Rep-Net continual learning (backbone + adaptors)
+``repro.datasets``  synthetic base/downstream task generators
+``repro.core``      the hybrid accelerator (CSC, PEs, mapper, designs)
+``repro.energy``    device/circuit/architecture cost models
+``repro.harness``   regenerates every paper table and figure
+"""
+
+__version__ = "1.0.0"
+
+from . import core, datasets, energy, harness, nn, quant, repnet, sparsity
+
+__all__ = ["nn", "sparsity", "quant", "repnet", "datasets", "core",
+           "energy", "harness", "__version__"]

@@ -1,0 +1,76 @@
+"""Bit-serial integer arithmetic helpers.
+
+Both PE designs process INT8 activations bit-serially (Sec. 3.1): activations
+stream one bit per cycle on the input word lines, in-array AND gates form
+1-bit partial products, and a shift accumulator re-weights each bit plane.
+These helpers decompose integers into two's-complement bit planes and fold
+partial sums back together, so the PE simulators can model the per-cycle
+dataflow exactly while remaining bit-true to an ordinary integer matmul.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def to_bit_planes(values: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Two's-complement bit planes of an integer array.
+
+    Returns an array of shape ``(bits,) + values.shape`` with plane ``b``
+    holding bit ``b`` (LSB first).  Values must fit in ``bits`` bits signed.
+    """
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError(f"bit-serial streaming needs integer data, got {values.dtype}")
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if values.min(initial=0) < lo or values.max(initial=0) > hi:
+        raise ValueError(f"values outside signed {bits}-bit range [{lo}, {hi}]")
+    unsigned = np.where(values < 0, values + (1 << bits), values).astype(np.int64)
+    planes = np.empty((bits,) + values.shape, dtype=np.int64)
+    for b in range(bits):
+        planes[b] = (unsigned >> b) & 1
+    return planes
+
+
+def plane_weight(bit: int, bits: int) -> int:
+    """Arithmetic weight of bit plane ``bit`` in two's complement.
+
+    The MSB carries ``-2**(bits-1)``; every other plane ``+2**bit``.  The
+    shift accumulator applies exactly these weights ("shift accumulate for
+    input precision compensation", Sec. 3.1).
+    """
+    if bit == bits - 1:
+        return -(1 << bit)
+    return 1 << bit
+
+
+def from_partials(partials: np.ndarray, bits: int) -> np.ndarray:
+    """Recombine per-bit-plane partial sums into the final integer result.
+
+    ``partials`` has shape ``(bits,) + result_shape``; plane ``b`` is the
+    adder-tree output for input bit ``b``.
+    """
+    partials = np.asarray(partials)
+    if partials.shape[0] != bits:
+        raise ValueError(f"expected {bits} planes, got {partials.shape[0]}")
+    result = np.zeros(partials.shape[1:], dtype=np.int64)
+    for b in range(bits):
+        result += plane_weight(b, bits) * partials[b]
+    return result
+
+
+def weight_bit_planes(weights: np.ndarray, bits: int = 8
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Split signed weights into (magnitude planes, sign) — used by designs
+    that store sign-magnitude; provided for completeness/ablations."""
+    weights = np.asarray(weights)
+    sign = np.sign(weights).astype(np.int64)
+    mag = np.abs(weights).astype(np.int64)
+    if mag.max(initial=0) >= (1 << (bits - 1)):
+        raise ValueError(f"magnitudes exceed {bits - 1} bits")
+    planes = np.empty((bits - 1,) + weights.shape, dtype=np.int64)
+    for b in range(bits - 1):
+        planes[b] = (mag >> b) & 1
+    return planes, sign

@@ -1,0 +1,154 @@
+"""Compressed Sparse Column (CSC) encoding of N:M-sparse weight matrices.
+
+Orientation convention (used everywhere in :mod:`repro.core`): a weight
+matrix is stored PIM-style as ``(in_dim, out_dim)`` — rows are the reduction
+(input) dimension driven by the shared input word lines, columns are output
+neurons accumulated by the adder trees.  The N:M pattern runs **down each
+column** (along the reduction dimension, as in NVIDIA's 2:4), i.e. every
+aligned group of ``m`` consecutive rows of a column holds at most ``n``
+non-zeros.
+
+CSC compresses each column: only the non-zero values survive, each paired
+with its position within its group of ``m`` — a ``ceil(log2(m))``-bit index
+(4 bits for the hardware's N:16 upper bound).  This is exactly the
+``(compressed weight matrix, index matrix)`` pair of the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..sparsity.nm import NMPattern, verify_nm
+
+
+@dataclasses.dataclass
+class CSCColumn:
+    """One compressed column: parallel arrays of values / group ids / indices."""
+
+    values: np.ndarray        # int, non-zero weight values in row order
+    group_ids: np.ndarray     # which group of m each value came from
+    intra_indices: np.ndarray  # position within the group (0..m-1)
+
+    def __post_init__(self):
+        if not (len(self.values) == len(self.group_ids) == len(self.intra_indices)):
+            raise ValueError("CSCColumn arrays must be parallel")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def row_indices(self, m: int) -> np.ndarray:
+        """Original (uncompressed) row index of every stored value."""
+        return self.group_ids * m + self.intra_indices
+
+
+class CSCMatrix:
+    """An N:M-sparse matrix in compressed sparse column form.
+
+    Use :meth:`from_dense` to encode; :meth:`decode` round-trips back to the
+    dense array (tested property: exact for any matrix satisfying the
+    pattern).
+    """
+
+    def __init__(self, columns: List[CSCColumn], shape: Tuple[int, int],
+                 pattern: NMPattern):
+        if len(columns) != shape[1]:
+            raise ValueError(f"{len(columns)} columns for shape {shape}")
+        self.columns = columns
+        self.shape = shape
+        self.pattern = pattern
+
+    # -------------------------------------------------------------- encoding
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, pattern: NMPattern,
+                   strict: bool = True) -> "CSCMatrix":
+        """Encode a dense ``(in_dim, out_dim)`` matrix.
+
+        ``strict=True`` (default) raises if any group violates the N:M
+        budget; ``strict=False`` accepts arbitrary sparsity (the row-wise
+        accumulator hardware tolerates uneven columns, Sec. 3.1, at a cycle
+        cost the PE simulator charges).
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        if not np.issubdtype(matrix.dtype, np.integer):
+            raise TypeError(
+                "CSC encodes integer (quantized) weights; quantize first "
+                f"(got dtype {matrix.dtype})")
+        if strict and not verify_nm(matrix, pattern, axis=0):
+            raise ValueError(
+                f"matrix violates the {pattern} pattern along the reduction "
+                "dimension; prune first or pass strict=False")
+
+        in_dim, out_dim = matrix.shape
+        m = pattern.m
+        columns: List[CSCColumn] = []
+        for c in range(out_dim):
+            col = matrix[:, c]
+            rows = np.nonzero(col)[0]
+            columns.append(CSCColumn(
+                values=col[rows].astype(np.int64),
+                group_ids=(rows // m).astype(np.int64),
+                intra_indices=(rows % m).astype(np.int64),
+            ))
+        return cls(columns, (in_dim, out_dim), pattern)
+
+    # -------------------------------------------------------------- decoding
+    def decode(self) -> np.ndarray:
+        """Reconstruct the dense matrix (exact)."""
+        dense = np.zeros(self.shape, dtype=np.int64)
+        m = self.pattern.m
+        for c, col in enumerate(self.columns):
+            dense[col.row_indices(m), c] = col.values
+        return dense
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def nnz(self) -> int:
+        return sum(col.nnz for col in self.columns)
+
+    def storage_bits(self, weight_bits: int = 8,
+                     index_bits: Optional[int] = None) -> int:
+        """Bits to store the compressed (value, index) pairs."""
+        index_bits = self.pattern.index_bits if index_bits is None else index_bits
+        return self.nnz * (weight_bits + index_bits)
+
+    def dense_storage_bits(self, weight_bits: int = 8) -> int:
+        return self.shape[0] * self.shape[1] * weight_bits
+
+    def compression_ratio(self, weight_bits: int = 8,
+                          index_bits: Optional[int] = None) -> float:
+        """compressed bits / dense bits (< 1 is a win)."""
+        dense = self.dense_storage_bits(weight_bits)
+        if dense == 0:
+            return 1.0
+        return self.storage_bits(weight_bits, index_bits) / dense
+
+    def max_column_nnz(self) -> int:
+        return max((col.nnz for col in self.columns), default=0)
+
+    def column_nnz(self) -> np.ndarray:
+        return np.array([col.nnz for col in self.columns], dtype=np.int64)
+
+
+def tile_matrix(matrix: np.ndarray, tile_rows: int, tile_cols: int
+                ) -> List[Tuple[int, int, np.ndarray]]:
+    """Split a dense matrix into PE-sized tiles.
+
+    Returns ``(row_offset, col_offset, tile)`` triples covering the matrix;
+    edge tiles may be smaller.  ``tile_rows`` must be a multiple of the N:M
+    group size used downstream so that group alignment survives tiling (the
+    callers assert this).
+    """
+    matrix = np.asarray(matrix)
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise ValueError("tile dimensions must be positive")
+    tiles = []
+    for r in range(0, matrix.shape[0], tile_rows):
+        for c in range(0, matrix.shape[1], tile_cols):
+            tiles.append((r, c, matrix[r:r + tile_rows, c:c + tile_cols]))
+    return tiles

@@ -1,0 +1,125 @@
+"""Automated design-space exploration over the hybrid accelerator's levers.
+
+The paper evaluates two pattern points (1:4, 1:8).  A downstream adopter
+choosing a configuration for their own workload wants the whole frontier:
+which (N:M pattern, SRAM-pool size, bus width) combinations are
+Pareto-optimal in (area, training EDP, inference latency, accuracy-proxy
+density)?  This module sweeps the levers through the analytical design
+models and extracts the Pareto set.
+
+The accuracy axis is proxied by weight *density* (higher density = less
+pruning pressure = closer to dense accuracy — the monotone relationship
+Table 1 exhibits); a user with training budget can substitute measured
+accuracies via ``DesignPoint.metrics`` overrides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..sparsity.nm import NMPattern
+from .designs import DenseCIMDesign, HybridSparseDesign
+from .workload import Workload, paper_workload
+
+DEFAULT_PATTERNS = (NMPattern(1, 16), NMPattern(1, 8), NMPattern(2, 8),
+                    NMPattern(1, 4), NMPattern(2, 4), NMPattern(4, 8))
+DEFAULT_BUS_WIDTHS = (64, 128, 256)
+
+
+@dataclasses.dataclass
+class DesignPoint:
+    """One evaluated configuration."""
+
+    pattern: str
+    bus_bits: int
+    area_mm2: float
+    training_edp_js: float
+    inference_latency_s: float
+    density: float                 # accuracy proxy (higher = better)
+
+    def metrics(self) -> Dict[str, float]:
+        """Objectives as minimize-all values (density negated)."""
+        return {
+            "area_mm2": self.area_mm2,
+            "training_edp_js": self.training_edp_js,
+            "inference_latency_s": self.inference_latency_s,
+            "neg_density": -self.density,
+        }
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse on all objectives, better on one."""
+        mine, theirs = self.metrics(), other.metrics()
+        no_worse = all(mine[k] <= theirs[k] + 1e-15 for k in mine)
+        better = any(mine[k] < theirs[k] - 1e-15 for k in mine)
+        return no_worse and better
+
+
+def _hybrid_with_bus(pattern: NMPattern, bus_bits: int) -> HybridSparseDesign:
+    """A hybrid design variant with a custom activation-bus width."""
+    design = HybridSparseDesign(pattern)
+    # HybridSparseDesign reads DenseCIMDesign.ACTIVATION_BUS_BITS through its
+    # cycle helpers; install per-point replacements that use ``bus_bits``
+    # instead, so sweeps don't mutate shared class state.
+
+    def learnable2(layer, fwd_pes):
+        import math
+        bus = layer.in_dim * 8.0 / bus_bits
+        tiles = max(1, math.ceil(design._layer_pairs(layer)
+                                 / design.SRAM_PE_PAIRS))
+        serialization = math.ceil(tiles / max(1, fwd_pes))
+        return max(serialization * design.pattern.m * 8.0, bus)
+
+    def frozen2(layer):
+        import math
+        from .mram_pe import PIPELINE_DEPTH
+        bus = layer.in_dim * 8.0 / bus_bits
+        pairs = design._layer_pairs(layer)
+        arrays = max(1, math.ceil(pairs / design._mram_array_pairs))
+        rows = math.ceil(pairs / (arrays * design._mram_pairs_per_row))
+        return max((rows + PIPELINE_DEPTH - 1) * 8.0, bus)
+
+    design._learnable_vector_cycles = learnable2
+    design._frozen_vector_cycles = frozen2
+    return design
+
+
+def sweep(workload: Optional[Workload] = None,
+          patterns: Sequence[NMPattern] = DEFAULT_PATTERNS,
+          bus_widths: Sequence[int] = DEFAULT_BUS_WIDTHS
+          ) -> List[DesignPoint]:
+    """Evaluate every (pattern, bus width) combination."""
+    workload = workload or paper_workload()
+    points: List[DesignPoint] = []
+    for pattern in patterns:
+        for bus in bus_widths:
+            design = _hybrid_with_bus(pattern, bus)
+            points.append(DesignPoint(
+                pattern=str(pattern),
+                bus_bits=bus,
+                area_mm2=design.area(workload).total_mm2,
+                training_edp_js=design.training_step(workload).edp_js,
+                inference_latency_s=design.inference(workload).latency_s,
+                density=pattern.density,
+            ))
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The non-dominated subset, sorted by area."""
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points if q is not p)]
+    return sorted(front, key=lambda p: p.area_mm2)
+
+
+def explore(workload: Optional[Workload] = None,
+            patterns: Sequence[NMPattern] = DEFAULT_PATTERNS,
+            bus_widths: Sequence[int] = DEFAULT_BUS_WIDTHS) -> Dict:
+    """Full exploration: all points + the Pareto set."""
+    points = sweep(workload, patterns, bus_widths)
+    front = pareto_front(points)
+    return {
+        "points": [dataclasses.asdict(p) for p in points],
+        "pareto": [dataclasses.asdict(p) for p in front],
+        "pareto_fraction": len(front) / len(points) if points else 0.0,
+    }

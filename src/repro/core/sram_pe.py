@@ -1,0 +1,297 @@
+"""Bit-serial digital SRAM sparse PE (paper Fig. 3) — functional + cycle model.
+
+Physical organisation (Sec. 3.1): a 128x96 bit-cell array organised as 8
+column groups, each row of a group holding a 12-bit (8-bit weight, 4-bit
+index) pair; per column group an index generator, 128x8 comparators and a
+128-input 8-bit adder tree; a shift accumulator for bit-serial input
+precision compensation and a row-wise accumulator for uneven column
+sparsity.
+
+Dataflow model (documented interpretation of the paper's Steps 1-3):
+
+* The CSC-compressed entries of each logical output column are packed
+  contiguously down a column group; a group's entries for input-group ``g``
+  occupy consecutive physical rows.
+* Activations stream bit-serially on the shared input word lines; the 8T
+  bit-cells AND the input bit with each stored weight bit (Step 1 — parallel
+  in-memory dot products).
+* Each column group's index generator sweeps the intra-group index phase
+  ``t = 0..m-1``; the per-row comparators fire when the stored 4-bit index
+  matches ``t``, gating that row's partial product into the adder tree
+  (Step 2 — index generation and compare).  Gating *accumulation* this way is
+  exactly why CSC (and not CSR) is the right compression: multiplication
+  against the shared word line is preserved, only the column-sum is
+  re-ordered in time.
+* The adder tree sums the gated products and the shift accumulator applies
+  the two's-complement bit weighting (Step 3); when a logical column's
+  compressed entries straddle two column groups (uneven sparsity), the
+  row-wise accumulator merges the two partial sums.
+
+Per input vector the PE therefore spends ``pattern.m * input_bits`` cycles
+(index phases x bit planes), with every column group operating in parallel.
+
+The functional result is bit-exact with the integer matmul of the decoded
+sparse matrix — a property-based test enforces this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..sparsity.nm import NMPattern
+from .bitserial import from_partials, plane_weight, to_bit_planes
+from .csc import CSCMatrix
+from .stats import PEStats
+
+
+@dataclasses.dataclass(frozen=True)
+class SRAMPEConfig:
+    """Geometry of one SRAM sparse PE (defaults = the paper's 128x96 macro)."""
+
+    rows: int = 128
+    lanes: int = 8          # column groups (weight+index pairs per row)
+    weight_bits: int = 8
+    index_bits: int = 4
+    input_bits: int = 8
+
+    @property
+    def pair_capacity(self) -> int:
+        """Total (weight, index) pairs the array stores."""
+        return self.rows * self.lanes
+
+    @property
+    def array_bits(self) -> int:
+        """Total bit-cells, weight + index sections (128x96 by default)."""
+        return self.rows * self.lanes * (self.weight_bits + self.index_bits)
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.lanes <= 0:
+            raise ValueError("rows and lanes must be positive")
+        if (1 << self.index_bits) < 2:
+            raise ValueError("index_bits too small")
+
+
+@dataclasses.dataclass
+class _Placement:
+    """Where one logical column's compressed entries landed."""
+
+    column: int
+    lane_spans: List[Tuple[int, int, int]]  # (lane, start_row, count)
+
+    @property
+    def spans_lanes(self) -> bool:
+        return len(self.lane_spans) > 1
+
+
+class SRAMSparsePE:
+    """Functional + cycle-accurate model of the SRAM sparse PE."""
+
+    def __init__(self, config: Optional[SRAMPEConfig] = None):
+        self.config = config or SRAMPEConfig()
+        self.csc: Optional[CSCMatrix] = None
+        self.placements: List[_Placement] = []
+        self.stats = PEStats()
+        self._dense_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ load
+    def load(self, matrix: np.ndarray, pattern: NMPattern,
+             strict: bool = True) -> None:
+        """CSC-encode an integer ``(in_dim, out_dim)`` matrix and map it.
+
+        Charges the write traffic (weight + index bits) to the stats block —
+        this is the cost that makes SRAM the right home for the learnable
+        path (fast, cheap writes) and is central to the Fig. 8 EDP study.
+        """
+        cfg = self.config
+        matrix = np.asarray(matrix)
+        self._check_range(matrix)
+        csc = CSCMatrix.from_dense(matrix, pattern, strict=strict)
+        if csc.nnz > cfg.pair_capacity:
+            raise ValueError(
+                f"compressed matrix needs {csc.nnz} pairs; PE holds "
+                f"{cfg.pair_capacity} — tile the matrix first")
+        if pattern.index_bits > cfg.index_bits:
+            raise ValueError(
+                f"pattern {pattern} needs {pattern.index_bits}-bit indices; "
+                f"PE provides {cfg.index_bits}")
+
+        # Column-major packing with spill into the next lane.
+        placements: List[_Placement] = []
+        lane, row = 0, 0
+        for c, col in enumerate(csc.columns):
+            remaining = col.nnz
+            spans: List[Tuple[int, int, int]] = []
+            while remaining > 0:
+                if lane >= cfg.lanes:
+                    raise ValueError("packing overflow despite capacity check")
+                take = min(remaining, cfg.rows - row)
+                if take > 0:
+                    spans.append((lane, row, take))
+                    row += take
+                    remaining -= take
+                if row == cfg.rows:
+                    lane, row = lane + 1, 0
+            placements.append(_Placement(column=c, lane_spans=spans))
+
+        self.csc = csc
+        self.placements = placements
+        self._dense_cache = csc.decode()
+
+        self.stats.weight_bits_written += csc.nnz * cfg.weight_bits
+        self.stats.index_bits_written += csc.nnz * cfg.index_bits
+
+    def _check_range(self, matrix: np.ndarray) -> None:
+        bits = self.config.weight_bits
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        if matrix.size and (matrix.min() < lo or matrix.max() > hi):
+            raise ValueError(f"weights outside signed {bits}-bit range")
+
+    @property
+    def loaded(self) -> bool:
+        return self.csc is not None
+
+    def occupancy(self) -> float:
+        """Fraction of (weight, index) pairs in use."""
+        if self.csc is None:
+            return 0.0
+        return self.csc.nnz / self.config.pair_capacity
+
+    # ---------------------------------------------------------------- matmul
+    def matmul(self, activations: np.ndarray) -> np.ndarray:
+        """Sparse matrix multiplication ``activations @ W`` on the PE.
+
+        ``activations``: integer ``(batch, in_dim)`` within ``input_bits``
+        signed range.  Returns int64 ``(batch, out_dim)``.
+
+        The computation walks the actual dataflow — bit planes x index
+        phases x comparator gating — and the final numbers equal
+        ``activations @ dense`` exactly.
+        """
+        if self.csc is None:
+            raise RuntimeError("load() a weight matrix first")
+        cfg = self.config
+        csc = self.csc
+        pattern = csc.pattern
+        activations = np.atleast_2d(np.asarray(activations))
+        batch, in_dim = activations.shape
+        if in_dim != csc.shape[0]:
+            raise ValueError(
+                f"activation dim {in_dim} != matrix in_dim {csc.shape[0]}")
+
+        planes = to_bit_planes(activations, cfg.input_bits)  # (bits, batch, in)
+        out = np.zeros((batch, csc.shape[1]), dtype=np.int64)
+
+        # Per-column gather indices (original rows), computed once.
+        m = pattern.m
+        for c, col in enumerate(csc.columns):
+            rows = col.row_indices(m)
+            vals = col.values
+            if len(rows) == 0:
+                continue
+            # Step 1+2: for each bit plane, comparator-gated partial products.
+            partials = np.empty((cfg.input_bits, batch), dtype=np.int64)
+            for b in range(cfg.input_bits):
+                # All phases t of the index sweep contribute; entry (row i)
+                # fires in phase t == intra index, receiving activation bit
+                # planes[b][:, rows].  Summing over the sweep == one gather.
+                partials[b] = planes[b][:, rows] @ vals
+            # Step 3: shift accumulate (two's complement plane weights).
+            out[:, c] = from_partials(partials, cfg.input_bits)
+
+        self._charge_matmul_stats(batch)
+        return out
+
+    def _charge_matmul_stats(self, batch: int) -> None:
+        cfg = self.config
+        csc = self.csc
+        pattern = csc.pattern
+        sweep_cycles = pattern.m * cfg.input_bits
+        lanes_used = len({span[0] for p in self.placements for span in p.lane_spans})
+
+        self.stats.cycles += sweep_cycles * batch
+        self.stats.activation_bits_read += csc.shape[0] * cfg.input_bits * batch
+        self.stats.macs += csc.nnz * batch
+        self.stats.dense_equivalent_macs += csc.shape[0] * csc.shape[1] * batch
+        # Each stored weight participates in its matching phase on every bit
+        # plane; comparators evaluate every phase.
+        self.stats.weight_bits_read += csc.nnz * cfg.weight_bits * cfg.input_bits * batch
+        self.stats.index_bits_read += csc.nnz * cfg.index_bits * pattern.m * batch
+        self.stats.comparator_ops += csc.nnz * pattern.m * batch
+        self.stats.adder_tree_ops += lanes_used * sweep_cycles * batch
+        self.stats.shift_acc_ops += lanes_used * sweep_cycles * batch
+        spill_columns = sum(1 for p in self.placements if p.spans_lanes)
+        self.stats.rowwise_acc_ops += spill_columns * cfg.input_bits * batch
+
+    # ------------------------------------------------------------- dense ref
+    def dense_weight(self) -> np.ndarray:
+        """Decoded dense matrix (for verification)."""
+        if self._dense_cache is None:
+            raise RuntimeError("load() a weight matrix first")
+        return self._dense_cache
+
+    # --------------------------------------------------------------- updates
+    def update_weights(self, matrix: np.ndarray, pattern: NMPattern,
+                       strict: bool = True) -> None:
+        """In-place weight rewrite (one training step's weight update).
+
+        Functionally identical to :meth:`load`; kept separate so callers'
+        intent (initial mapping vs. learning update) is explicit in traces.
+        """
+        self.load(matrix, pattern, strict=strict)
+
+
+class DenseDigitalPE:
+    """Dense bit-serial digital PIM PE — the no-sparsity-support baseline.
+
+    Models macros like the ISSCC'21 SRAM CIM [29]: the whole (zero-including)
+    matrix is stored and every MAC is executed.  Used by the baseline columns
+    of Fig. 7/8 and by the sparse-vs-dense ablation benches.
+    """
+
+    def __init__(self, rows: int = 128, cols: int = 8, weight_bits: int = 8,
+                 input_bits: int = 8):
+        self.rows = rows
+        self.cols = cols
+        self.weight_bits = weight_bits
+        self.input_bits = input_bits
+        self.weight: Optional[np.ndarray] = None
+        self.stats = PEStats()
+
+    @property
+    def array_bits(self) -> int:
+        return self.rows * self.cols * self.weight_bits
+
+    def load(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.shape[0] > self.rows or matrix.shape[1] > self.cols:
+            raise ValueError(
+                f"matrix {matrix.shape} exceeds PE geometry "
+                f"({self.rows}x{self.cols})")
+        self.weight = matrix.astype(np.int64)
+        self.stats.weight_bits_written += matrix.size * self.weight_bits
+
+    def matmul(self, activations: np.ndarray) -> np.ndarray:
+        if self.weight is None:
+            raise RuntimeError("load() a weight matrix first")
+        activations = np.atleast_2d(np.asarray(activations))
+        batch, in_dim = activations.shape
+        if in_dim != self.weight.shape[0]:
+            raise ValueError("activation dim mismatch")
+
+        planes = to_bit_planes(activations, self.input_bits)
+        partials = np.stack([planes[b] @ self.weight
+                             for b in range(self.input_bits)])
+        out = from_partials(partials, self.input_bits)
+
+        self.stats.cycles += self.input_bits * batch
+        self.stats.activation_bits_read += in_dim * self.input_bits * batch
+        self.stats.macs += self.weight.size * batch
+        self.stats.dense_equivalent_macs += self.weight.size * batch
+        self.stats.weight_bits_read += (
+            self.weight.size * self.weight_bits * self.input_bits * batch)
+        self.stats.adder_tree_ops += self.weight.shape[1] * self.input_bits * batch
+        self.stats.shift_acc_ops += self.weight.shape[1] * self.input_bits * batch
+        return out

@@ -1,0 +1,9 @@
+"""Synthetic datasets: base pre-training distribution + Table 1 downstream tasks."""
+
+from .synthetic import ClassPrototype, TaskSpec, base_pretraining_spec, generate_task
+from .tasks import TABLE1_TASKS, downstream_specs, load_downstream_task
+
+__all__ = [
+    "TaskSpec", "ClassPrototype", "generate_task", "base_pretraining_spec",
+    "TABLE1_TASKS", "downstream_specs", "load_downstream_task",
+]

@@ -1,0 +1,29 @@
+"""Device/circuit/architecture cost models (the NVSIM/PIMA-SIM substitution)."""
+
+from .area import (MRAM_MACRO_UM2_PER_BIT, MRAM_SPARSE_PERIPHERY_FACTOR,
+                   SRAM_MACRO_UM2_PER_BIT, AreaModel, AreaReport)
+from .cost import CostModel, EnergyBreakdown
+from .endurance import (ENDURANCE_CYCLES, EnduranceReport, endurance_report,
+                        steps_per_continual_task, tasks_until_failure,
+                        training_lifetime_study)
+from .mtj import MTJ, MTJParams, table2_write_energy_check
+from .rram import (RRAMCell, RRAMParams, compare_nvm_write_cost,
+                   rram_pe_spec, rram_technology)
+from .sensing import (SenseConfig, margin_study, read_bit_error_rate,
+                      state_currents_ua)
+from .tech import (CLOCK_HZ, CYCLE_S, DEFAULT_TECH, GlobalSpec, MRAMPESpec,
+                   SRAMPESpec, TechnologyModel)
+
+__all__ = [
+    "TechnologyModel", "SRAMPESpec", "MRAMPESpec", "GlobalSpec",
+    "DEFAULT_TECH", "CLOCK_HZ", "CYCLE_S",
+    "MTJ", "MTJParams", "table2_write_energy_check",
+    "CostModel", "EnergyBreakdown",
+    "AreaModel", "AreaReport", "SRAM_MACRO_UM2_PER_BIT",
+    "MRAM_MACRO_UM2_PER_BIT", "MRAM_SPARSE_PERIPHERY_FACTOR",
+    "RRAMCell", "RRAMParams", "rram_pe_spec", "rram_technology",
+    "compare_nvm_write_cost",
+    "EnduranceReport", "endurance_report", "training_lifetime_study",
+    "tasks_until_failure", "steps_per_continual_task", "ENDURANCE_CYCLES",
+    "SenseConfig", "read_bit_error_rate", "state_currents_ua", "margin_study",
+]

@@ -1,0 +1,132 @@
+"""NVM endurance / device-lifetime analysis of the training configurations.
+
+The paper's introduction: "the endurance of certain types of NVMs, like
+RRAM, where each cell can sustain a finite number of write operations,
+becomes a critical concern due to the frequent weight updates in the
+training process."  This module quantifies that concern for every Fig. 8
+training configuration: given a design's per-step write traffic to each
+memory, how many training steps until the most-written cells exceed their
+endurance — and what lifetime that means at a realistic step rate.
+
+The hybrid design's answer is the whole point: its NVM is written exactly
+once (deployment), so its lifetime is bounded by SRAM (effectively
+unlimited), while in-place NVM fine-tuning burns through RRAM-class
+endurance in hours-to-days of continual learning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from ..core.workload import Workload
+from ..sparsity.nm import NMPattern
+
+#: Endurance budgets (write cycles per cell).  SRAM is unlimited for any
+#: practical horizon; STT-MRAM and HfOx RRAM are literature-typical.
+ENDURANCE_CYCLES = {
+    "sram": float("inf"),
+    "mram": 1e12,
+    "rram": 1e7,
+}
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclasses.dataclass
+class EnduranceReport:
+    """Lifetime of one training configuration on one memory technology."""
+
+    config: str
+    memory: str
+    writes_per_cell_per_step: float
+    endurance_cycles: float
+    steps_to_failure: float
+    lifetime_years_at_10hz: float
+
+    def as_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+def _cell_writes_per_step(update_weights: int, total_cells: int,
+                          batch_updates: int = 1) -> float:
+    """Average writes per *weight cell* per training step.
+
+    Every updated weight rewrites its cell once per step (weight update),
+    plus once more for the transposed copy staged for the next step's
+    backward — matching the write accounting in
+    :meth:`repro.core.designs.DenseCIMDesign.training_step`.
+    """
+    if total_cells <= 0:
+        raise ValueError("total_cells must be positive")
+    return 2.0 * batch_updates * update_weights / total_cells
+
+
+def endurance_report(config: str, memory: str, update_weights: int,
+                     total_cells: int, step_rate_hz: float = 10.0
+                     ) -> EnduranceReport:
+    """Lifetime of a configuration writing ``update_weights`` per step into
+    a memory of ``total_cells`` weight cells."""
+    if memory not in ENDURANCE_CYCLES:
+        raise ValueError(f"unknown memory {memory!r}; "
+                         f"choose from {sorted(ENDURANCE_CYCLES)}")
+    per_cell = _cell_writes_per_step(update_weights, total_cells)
+    endurance = ENDURANCE_CYCLES[memory]
+    if per_cell == 0 or math.isinf(endurance):
+        steps = float("inf")
+    else:
+        # The *hottest* cells (the updated ones) fail first: each updated
+        # cell takes 2 writes per step regardless of array size.
+        steps = endurance / 2.0
+    years = (steps / step_rate_hz / SECONDS_PER_YEAR
+             if not math.isinf(steps) else float("inf"))
+    return EnduranceReport(
+        config=config, memory=memory,
+        writes_per_cell_per_step=per_cell,
+        endurance_cycles=endurance,
+        steps_to_failure=steps,
+        lifetime_years_at_10hz=years)
+
+
+def training_lifetime_study(workload: Workload,
+                            pattern: Optional[NMPattern] = None,
+                            step_rate_hz: float = 10.0
+                            ) -> List[EnduranceReport]:
+    """Lifetime of the six Fig. 8 configurations + the RRAM what-ifs.
+
+    Returns one report per (configuration, weight-memory) pair.  The hybrid
+    rows use SRAM (their NVM is never written during learning); the
+    baseline rows write their own storage technology in place.
+    """
+    pattern = pattern or NMPattern(1, 8)
+    total = workload.total_weights
+    learnable = workload.learnable_weights
+    sparse_learnable = int(learnable * pattern.density)
+
+    rows = [
+        ("Finetune-all", "sram", total),
+        ("Finetune-all", "mram", total),
+        ("Finetune-all", "rram", total),
+        ("RepNet dense", "sram", learnable),
+        ("RepNet dense", "mram", learnable),
+        ("RepNet dense", "rram", learnable),
+        (f"Hybrid {pattern} (writes hit SRAM)", "sram", sparse_learnable),
+    ]
+    return [endurance_report(cfg, mem, upd, total, step_rate_hz)
+            for cfg, mem, upd in rows]
+
+
+def steps_per_continual_task(epochs: int = 30, samples: int = 2000,
+                             batch: int = 32) -> int:
+    """Training steps one downstream task costs (paper's 30-epoch recipe)."""
+    return epochs * math.ceil(samples / batch)
+
+
+def tasks_until_failure(report: EnduranceReport,
+                        steps_per_task: Optional[int] = None) -> float:
+    """How many downstream tasks a device survives before NVM wear-out."""
+    steps_per_task = steps_per_task or steps_per_continual_task()
+    if math.isinf(report.steps_to_failure):
+        return float("inf")
+    return report.steps_to_failure / steps_per_task

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per paper table/figure.
+
+* ``python -m repro.harness.table1`` — accuracy study (add ``--fast``)
+* ``python -m repro.harness.table2`` — hardware specs
+* ``python -m repro.harness.fig7``  — inference power & area comparison
+* ``python -m repro.harness.fig8``  — continual-learning EDP comparison
+* ``python -m repro.harness.endurance`` — NVM lifetime + RRAM portability
+  (extension study, paper Sec. 1/Sec. 3 claims)
+* ``python -m repro.harness.ablations`` — design-lever ablations (pattern
+  sweep, channel permutation, write-verify, sensing margin, fault injection)
+* ``python -m repro.harness.figures`` — Fig. 7/8 as ASCII bar charts
+"""
+
+from .ablations import build_ablations, render_ablations
+from .endurance import build_endurance, render_endurance
+from .fig7 import build_fig7, fig7_designs, render_fig7
+from .figures import render_fig7_chart, render_fig8_chart
+from .fig8 import build_fig8, fig8_configs, render_fig8
+from .table1 import Table1Config, render_table1, run_table1
+from .table2 import build_table2, render_table2
+
+__all__ = [
+    "run_table1", "render_table1", "Table1Config",
+    "build_table2", "render_table2",
+    "build_fig7", "render_fig7", "fig7_designs",
+    "build_fig8", "render_fig8", "fig8_configs",
+    "build_endurance", "render_endurance",
+    "build_ablations", "render_ablations",
+    "render_fig7_chart", "render_fig8_chart",
+]

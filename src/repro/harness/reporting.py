@@ -1,0 +1,57 @@
+"""Shared result-rendering helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table (the harness' stdout format)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def save_json(result: Dict, path: Optional[str]) -> None:
+    """Dump a result dict as JSON (no-op when path is None)."""
+    if path is None:
+        return
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "w") as f:
+        json.dump(result, f, indent=2, default=str)
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Divide each value by ``reference`` (guarding zero)."""
+    if reference == 0:
+        raise ValueError("cannot normalize to a zero reference")
+    return [v / reference for v in values]

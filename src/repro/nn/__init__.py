@@ -1,0 +1,34 @@
+"""Numpy training substrate: tensors, autograd, layers, optimizers, data.
+
+This package replaces the PyTorch/GPU stack the paper used (see DESIGN.md,
+"Substitutions"): it provides exactly the operations the Rep-Net continual
+learning recipe needs, with reverse-mode autograd verified against numerical
+differentiation in the test suite.
+"""
+
+from . import functional, init
+from .data import DataLoader, Dataset, Subset, TensorDataset, train_test_split
+from .functional import (accuracy, avg_pool2d, conv2d, cross_entropy,
+                         global_avg_pool2d, linear, log_softmax, max_pool2d,
+                         mse_loss, relu, softmax)
+from .modules import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
+                      GlobalAvgPool2d, Linear, MaxPool2d, Module, Parameter,
+                      ReLU, Sequential, set_seed)
+from .optim import (SGD, Adam, CosineAnnealingLR, LRScheduler, Optimizer,
+                    StepLR, clip_grad_norm)
+from .summary import LayerSummary, format_summary, summarize
+from .tensor import Tensor, astensor, concatenate, no_grad, ones, randn, stack, zeros
+
+__all__ = [
+    "Tensor", "astensor", "concatenate", "stack", "zeros", "ones", "randn",
+    "no_grad", "functional", "init",
+    "Module", "Parameter", "Linear", "Conv2d", "BatchNorm2d", "ReLU",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten", "Dropout",
+    "Sequential", "set_seed",
+    "Optimizer", "SGD", "Adam", "LRScheduler", "StepLR", "CosineAnnealingLR",
+    "clip_grad_norm",
+    "Dataset", "TensorDataset", "Subset", "DataLoader", "train_test_split",
+    "cross_entropy", "mse_loss", "accuracy", "softmax", "log_softmax",
+    "conv2d", "linear", "relu", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+    "summarize", "format_summary", "LayerSummary",
+]

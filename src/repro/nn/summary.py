@@ -1,0 +1,116 @@
+"""Model summary: parameters, MACs, and output shapes per layer.
+
+A small introspection utility (in the spirit of ``torchsummary``) used to
+sanity-check that :func:`repro.core.workload.extract_repnet_workload` agrees
+with what the network actually computes, and to print the parameter budget
+tables the experiments reference (e.g. the ~5% learnable fraction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .functional import conv_output_size
+from .modules import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
+                      GlobalAvgPool2d, Linear, MaxPool2d, Module, ReLU,
+                      Sequential)
+
+
+@dataclasses.dataclass
+class LayerSummary:
+    """One row of the summary table."""
+
+    name: str
+    kind: str
+    output_shape: Tuple[int, ...]
+    params: int
+    trainable_params: int
+    macs: int
+
+
+def _shape_after(mod: Module, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Propagate a (C, H, W) or (F,) feature shape through one module."""
+    if isinstance(mod, Conv2d):
+        c, h, w = shape
+        oh = conv_output_size(h, mod.kernel_size, mod.stride, mod.padding)
+        ow = conv_output_size(w, mod.kernel_size, mod.stride, mod.padding)
+        return (mod.out_channels, oh, ow)
+    if isinstance(mod, (MaxPool2d, AvgPool2d)):
+        c, h, w = shape
+        oh = conv_output_size(h, mod.kernel_size, mod.stride, 0)
+        ow = conv_output_size(w, mod.kernel_size, mod.stride, 0)
+        return (c, oh, ow)
+    if isinstance(mod, GlobalAvgPool2d):
+        return (shape[0],)
+    if isinstance(mod, Flatten):
+        return (int(np.prod(shape)),)
+    if isinstance(mod, Linear):
+        return (mod.out_features,)
+    return shape  # ReLU / BN / Dropout keep the shape
+
+
+def _macs_of(mod: Module, in_shape: Tuple[int, ...],
+             out_shape: Tuple[int, ...]) -> int:
+    if isinstance(mod, Conv2d):
+        _, oh, ow = out_shape
+        return mod.out_channels * oh * ow * mod.in_channels \
+            * mod.kernel_size ** 2
+    if isinstance(mod, Linear):
+        return mod.in_features * mod.out_features
+    return 0
+
+
+def summarize(model: Module, input_shape: Tuple[int, ...]
+              ) -> List[LayerSummary]:
+    """Summaries for a :class:`Sequential`-style model.
+
+    ``input_shape`` excludes the batch dimension, e.g. ``(3, 16, 16)``.
+    Nested Sequentials are flattened; non-shape-bearing composite modules
+    are reported as single rows with their parameter totals.
+    """
+    rows: List[LayerSummary] = []
+    shape = tuple(input_shape)
+
+    def visit(mod: Module, name: str) -> None:
+        nonlocal shape
+        if isinstance(mod, Sequential):
+            for i, sub in enumerate(mod.layers):
+                visit(sub, f"{name}.{i}" if name else str(i))
+            return
+        in_shape = shape
+        shape = _shape_after(mod, shape)
+        params = mod.num_parameters()
+        rows.append(LayerSummary(
+            name=name or type(mod).__name__,
+            kind=type(mod).__name__,
+            output_shape=shape,
+            params=params,
+            trainable_params=mod.num_parameters(trainable_only=True),
+            macs=_macs_of(mod, in_shape, shape)))
+
+    visit(model, "")
+    return rows
+
+
+def format_summary(rows: List[LayerSummary],
+                   title: str = "Model summary") -> str:
+    """Render the summary rows as a text table with totals."""
+    header = f"{'layer':24s} {'type':16s} {'output':>16s} {'params':>10s} " \
+             f"{'train':>10s} {'MACs':>12s}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:24s} {r.kind:16s} {str(r.output_shape):>16s} "
+            f"{r.params:>10d} {r.trainable_params:>10d} {r.macs:>12d}")
+    total = sum(r.params for r in rows)
+    train = sum(r.trainable_params for r in rows)
+    macs = sum(r.macs for r in rows)
+    lines.append("-" * len(header))
+    lines.append(f"{'TOTAL':24s} {'':16s} {'':>16s} {total:>10d} "
+                 f"{train:>10d} {macs:>12d}")
+    if total:
+        lines.append(f"trainable fraction: {train / total:.1%}")
+    return "\n".join(lines)

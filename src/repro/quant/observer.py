@@ -1,0 +1,158 @@
+"""Range observers for quantization calibration.
+
+The paper applies INT8 post-training quantization (PTQ) to both the backbone
+and the fine-tuned sparse Rep-Net weights (Table 1).  Observers watch tensors
+during a calibration pass and produce the scale/zero-point used by
+:mod:`repro.quant.int8`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class MinMaxObserver:
+    """Track running min/max of observed tensors (symmetric or affine)."""
+
+    def __init__(self, symmetric: bool = True):
+        self.symmetric = symmetric
+        self.min_val: Optional[float] = None
+        self.max_val: Optional[float] = None
+
+    def observe(self, tensor: np.ndarray) -> None:
+        tensor = np.asarray(tensor)
+        if tensor.size == 0:
+            return
+        lo, hi = float(tensor.min()), float(tensor.max())
+        self.min_val = lo if self.min_val is None else min(self.min_val, lo)
+        self.max_val = hi if self.max_val is None else max(self.max_val, hi)
+
+    @property
+    def initialized(self) -> bool:
+        return self.min_val is not None
+
+    def quant_range(self) -> Tuple[float, float]:
+        if not self.initialized:
+            raise RuntimeError("observer saw no data")
+        if self.symmetric:
+            bound = max(abs(self.min_val), abs(self.max_val))
+            return -bound, bound
+        return self.min_val, self.max_val
+
+
+class PercentileObserver(MinMaxObserver):
+    """Clip the range to a percentile of |x| to resist activation outliers."""
+
+    def __init__(self, percentile: float = 99.9, symmetric: bool = True):
+        super().__init__(symmetric=symmetric)
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (50, 100], got {percentile}")
+        self.percentile = percentile
+        self._samples: list[np.ndarray] = []
+
+    def observe(self, tensor: np.ndarray) -> None:
+        tensor = np.asarray(tensor)
+        if tensor.size == 0:
+            return
+        # Keep a bounded reservoir of absolute values for the percentile.
+        flat = np.abs(tensor.ravel())
+        if flat.size > 4096:
+            idx = np.linspace(0, flat.size - 1, 4096).astype(int)
+            flat = np.sort(flat)[idx]
+        self._samples.append(flat)
+        super().observe(tensor)
+
+    def quant_range(self) -> Tuple[float, float]:
+        if not self._samples:
+            raise RuntimeError("observer saw no data")
+        pooled = np.concatenate(self._samples)
+        bound = float(np.percentile(pooled, self.percentile))
+        if bound == 0.0:
+            bound = max(abs(self.min_val or 0.0), abs(self.max_val or 0.0)) or 1.0
+        if self.symmetric:
+            return -bound, bound
+        return max(self.min_val, -bound), min(self.max_val, bound)
+
+
+class HistogramObserver(MinMaxObserver):
+    """KL-divergence (entropy) calibration, TensorRT-style.
+
+    Builds a histogram of |x| over the calibration pass, then picks the clip
+    threshold whose induced INT8 distribution has minimal KL divergence from
+    the original — a much better range for long-tailed activation
+    distributions than min/max or percentiles.
+    """
+
+    def __init__(self, bins: int = 2048, symmetric: bool = True,
+                 quant_levels: int = 128):
+        super().__init__(symmetric=symmetric)
+        if bins < quant_levels * 2:
+            raise ValueError(
+                f"need at least {quant_levels * 2} bins for {quant_levels} "
+                "quantization levels")
+        self.bins = bins
+        self.quant_levels = quant_levels
+        self._counts: Optional[np.ndarray] = None
+        self._width: Optional[float] = None
+
+    def observe(self, tensor: np.ndarray) -> None:
+        tensor = np.asarray(tensor)
+        if tensor.size == 0:
+            return
+        super().observe(tensor)
+        magnitudes = np.abs(tensor.ravel())
+        hi = max(abs(self.min_val), abs(self.max_val)) or 1e-12
+        if self._counts is None or hi / self.bins != self._width:
+            # (Re)bin everything at the new width; keep old mass by
+            # rebinning the existing histogram approximately.
+            new_width = hi / self.bins
+            new_counts = np.zeros(self.bins)
+            if self._counts is not None and self._width:
+                centers = (np.arange(self.bins) + 0.5) * self._width
+                idx = np.minimum((centers / new_width).astype(int),
+                                 self.bins - 1)
+                np.add.at(new_counts, idx, self._counts)
+            self._counts = new_counts
+            self._width = new_width
+        idx = np.minimum((magnitudes / self._width).astype(int), self.bins - 1)
+        np.add.at(self._counts, idx, 1.0)
+
+    @staticmethod
+    def _kl(p: np.ndarray, q: np.ndarray) -> float:
+        mask = p > 0
+        q = np.where(q > 0, q, 1e-12)
+        return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+    def quant_range(self) -> Tuple[float, float]:
+        if self._counts is None:
+            raise RuntimeError("observer saw no data")
+        counts = self._counts
+        best_kl = np.inf
+        best_bin = self.bins
+        # Candidate thresholds: from one bin per level up to all bins.
+        for t in range(self.quant_levels, self.bins + 1,
+                       max(1, self.bins // 128)):
+            ref = counts[:t].copy()
+            outliers = counts[t:].sum()
+            ref[t - 1] += outliers           # clip tail into the last bin
+            p = ref / max(ref.sum(), 1e-12)
+            # quantize: merge t bins into quant_levels buckets, then expand
+            edges = np.linspace(0, t, self.quant_levels + 1).astype(int)
+            q = np.zeros(t)
+            for b in range(self.quant_levels):
+                lo, hi = edges[b], edges[b + 1]
+                seg = counts[lo:hi]
+                nz = (seg > 0).sum()
+                if nz:
+                    q[lo:hi] = np.where(seg > 0, seg.sum() / nz, 0.0)
+            qs = q / max(q.sum(), 1e-12)
+            kl = self._kl(p, qs)
+            if kl < best_kl:
+                best_kl = kl
+                best_bin = t
+        bound = best_bin * self._width
+        if self.symmetric:
+            return -bound, bound
+        return max(self.min_val, -bound), min(self.max_val, bound)

@@ -1,0 +1,124 @@
+"""Quantization-aware training (QAT) — extension beyond the paper's PTQ.
+
+The paper applies post-training quantization only ("We only performed INT8
+Post-Training Quantization").  QAT — training against the straight-through
+estimator (STE) of the quantizer — is the standard upgrade when PTQ loses
+accuracy, and fits the hybrid system naturally: the SRAM-resident learnable
+path is being trained anyway, so simulating the INT8 grid during that
+training is free.
+
+Implementation: :class:`FakeQuantize` wraps the round-to-grid operation as
+an autograd node whose backward passes gradients straight through (STE),
+and :func:`attach_qat` hot-wires it into existing ``Linear``/``Conv2d``
+layers' forward paths without changing the model structure, so the N:M
+pruner and the optimizer masks keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.modules import Conv2d, Linear, Module
+from ..nn.tensor import Tensor
+from .int8 import INT8_QMAX, INT8_QMIN, QuantParams
+
+
+def fake_quantize_ste(x: Tensor, scale: float,
+                      qmin: int = INT8_QMIN, qmax: int = INT8_QMAX) -> Tensor:
+    """Round ``x`` to the INT8 grid with a straight-through gradient.
+
+    Forward: ``clip(round(x / s), qmin, qmax) * s``.
+    Backward: identity inside the clip range, zero outside (the standard
+    clipped STE).
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    q = np.clip(np.round(x.data / scale), qmin, qmax) * scale
+    out = x._make_child(q, (x,))
+    if out.requires_grad:
+        inside = (x.data >= qmin * scale) & (x.data <= qmax * scale)
+
+        def _backward(g: np.ndarray) -> None:
+            x._accumulate(g * inside)
+        out._backward = _backward
+    return out
+
+
+class FakeQuantize:
+    """Stateful weight fake-quantizer with a periodically refreshed scale."""
+
+    def __init__(self, refresh_every: int = 16):
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be >= 1")
+        self.refresh_every = refresh_every
+        self.scale: Optional[float] = None
+        self._step = 0
+
+    def __call__(self, weight: Tensor) -> Tensor:
+        if self.scale is None or self._step % self.refresh_every == 0:
+            bound = float(np.abs(weight.data).max()) or 1e-8
+            self.scale = bound / INT8_QMAX
+        self._step += 1
+        return fake_quantize_ste(weight, self.scale)
+
+
+def attach_qat(model: Module, trainable_only: bool = True,
+               refresh_every: int = 16) -> Dict[str, FakeQuantize]:
+    """Enable QAT on every Linear/Conv2d layer of ``model``.
+
+    Replaces each layer's ``forward`` with a variant that fake-quantizes the
+    weight (STE) before the matmul/convolution.  Returns the per-layer
+    quantizers (keyed by module path) so callers can inspect scales.
+    """
+    quantizers: Dict[str, FakeQuantize] = {}
+    for name, mod in model.named_modules():
+        if not isinstance(mod, (Linear, Conv2d)):
+            continue
+        if trainable_only and not mod.weight.trainable:
+            continue
+        fq = FakeQuantize(refresh_every=refresh_every)
+        quantizers[name or type(mod).__name__] = fq
+        _wrap_forward(mod, fq)
+    return quantizers
+
+
+def _wrap_forward(mod: Module, fq: FakeQuantize) -> None:
+    from ..nn import functional as F
+
+    if isinstance(mod, Linear):
+        def forward(x: Tensor, _mod=mod, _fq=fq) -> Tensor:
+            return F.linear(x, _fq(_mod.weight), _mod.bias)
+    else:
+        def forward(x: Tensor, _mod=mod, _fq=fq) -> Tensor:
+            return F.conv2d(x, _fq(_mod.weight), _mod.bias,
+                            stride=_mod.stride, padding=_mod.padding)
+    object.__setattr__(mod, "forward", forward)
+
+
+def detach_qat(model: Module) -> None:
+    """Remove QAT wrappers (restore the class-level forward)."""
+    for _, mod in model.named_modules():
+        if isinstance(mod, (Linear, Conv2d)) and "forward" in mod.__dict__:
+            object.__delattr__(mod, "forward")
+
+
+def finalize_qat(model: Module, trainable_only: bool = True
+                 ) -> Dict[str, QuantParams]:
+    """Bake the learned weights onto the INT8 grid and remove the wrappers.
+
+    After this the model is a plain PTQ'd model whose weights were *trained
+    to like* the grid.
+    """
+    report: Dict[str, QuantParams] = {}
+    for name, mod in model.named_modules():
+        if not isinstance(mod, (Linear, Conv2d)):
+            continue
+        if trainable_only and not mod.weight.trainable:
+            continue
+        params = QuantParams.from_tensor(mod.weight.data)
+        mod.weight.data = params.fake_quantize(mod.weight.data)
+        report[(name or type(mod).__name__) + ".weight"] = params
+    detach_qat(model)
+    return report

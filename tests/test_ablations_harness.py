@@ -1,0 +1,80 @@
+"""Tests for the ablations harness module."""
+
+import pytest
+
+from repro.harness.ablations import (build_ablations, fault_robustness,
+                                     pattern_sweep, permutation_study,
+                                     render_ablations, write_verify_sweep)
+from repro.core.workload import paper_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return paper_workload()
+
+
+class TestPatternSweep:
+    def test_five_patterns(self, workload):
+        rows = pattern_sweep(workload)
+        assert len(rows) == 5
+        assert rows[1]["pattern"] == "1:8"
+        assert rows[1]["edp_rel"] == pytest.approx(1.0)
+
+    def test_storage_monotone_in_density(self, workload):
+        rows = pattern_sweep(workload)
+        storages = [r["storage_bits"] for r in rows]
+        assert storages == sorted(storages)
+
+    def test_same_density_same_storage(self, workload):
+        rows = {r["pattern"]: r for r in pattern_sweep(workload)}
+        # 2:8 and 1:4 have the same density -> same storage/area
+        assert rows["2:8"]["storage_bits"] == rows["1:4"]["storage_bits"]
+        # ...but 2:8 pays more EDP (twice the index-sweep length m)
+        assert rows["2:8"]["edp_rel"] > rows["1:4"]["edp_rel"]
+
+
+class TestPermutationStudy:
+    def test_structured_gains_exceed_iid(self):
+        rows = {r["saliency_structure"]: r["retained_gain"]
+                for r in permutation_study()}
+        assert rows["adversarial"] > rows["block-correlated"] > rows["iid"] \
+            - 1e-9
+        assert rows["adversarial"] > 1.0  # >100% more saliency retained
+
+
+class TestWriteVerifySweep:
+    def test_reliability_monotone_in_current(self):
+        rows = write_verify_sweep()
+        probs = [r["switch_probability"] for r in rows]
+        fails = [r["failure_rate"] for r in rows]
+        assert probs == sorted(probs)
+        assert fails == sorted(fails, reverse=True)
+
+    def test_sweet_spot_exists(self):
+        """Somewhere in the sweep, retry-corrected energy beats brute force."""
+        rows = write_verify_sweep()
+        energies = [r["energy_pj_per_bit"] for r in rows]
+        assert min(energies) < energies[-1]  # max drive is not optimal
+
+
+class TestFaultRobustness:
+    def test_clean_at_zero_and_nominal(self):
+        rows = fault_robustness()
+        by_ber = {r["ber"]: r for r in rows}
+        assert by_ber[0.0]["max_rel_error"] == 0.0
+        assert by_ber[1e-6]["max_rel_error"] < 0.05
+
+    def test_degrades_at_high_ber(self):
+        rows = fault_robustness()
+        assert rows[-1]["mean_rel_error"] > rows[1]["mean_rel_error"]
+
+
+class TestAggregate:
+    def test_build_and_render(self, workload):
+        result = build_ablations(workload)
+        assert set(result) == {"pattern_sweep", "permutation", "write_verify",
+                               "sensing", "fault_robustness"}
+        out = render_ablations(result)
+        for title in ("Ablation 1", "Ablation 2", "Ablation 3", "Ablation 4",
+                      "Ablation 5"):
+            assert title in out

@@ -1,0 +1,93 @@
+"""Bit-cell-level array tests + cross-validation against the fast PE model."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitcell_array import BitCellArray, BitLevelSparsePE
+from repro.core.sram_pe import SRAMPEConfig, SRAMSparsePE
+from repro.sparsity import NMPattern
+
+from .test_csc import sparse_int_matrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(111)
+
+
+class TestBitCellStorage:
+    def test_roundtrip_all_values(self):
+        array = BitCellArray(SRAMPEConfig(rows=4, lanes=1))
+        for w in (-128, -1, 0, 1, 127, -77, 42):
+            array.store_pair(0, 0, w, 5)
+            assert array.stored_weight(0, 0) == w
+            assert array.stored_index(0, 0) == 5
+
+    def test_range_checks(self):
+        array = BitCellArray()
+        with pytest.raises(ValueError):
+            array.store_pair(0, 0, 200, 0)
+        with pytest.raises(ValueError):
+            array.store_pair(0, 0, 1, 16)
+
+    def test_cycle_and_gating(self):
+        """One cycle: only matched-index rows with input bit 1 contribute."""
+        cfg = SRAMPEConfig(rows=4, lanes=1)
+        array = BitCellArray(cfg)
+        array.store_pair(0, 0, 3, 0)    # phase 0
+        array.store_pair(1, 0, 5, 1)    # phase 1
+        array.store_pair(2, 0, 7, 0)    # phase 0
+        bits = np.array([1, 1, 0, 0])
+        # phase 0: row0 matches & bit 1 -> +3; row2 matches but bit 0
+        assert array.evaluate_cycle(bits, phase=0)[0] == 3
+        # phase 1: row1 matches & bit 1 -> +5
+        assert array.evaluate_cycle(bits, phase=1)[0] == 5
+
+    def test_cycle_negative_weight(self):
+        cfg = SRAMPEConfig(rows=2, lanes=1)
+        array = BitCellArray(cfg)
+        array.store_pair(0, 0, -100, 0)
+        assert array.evaluate_cycle(np.array([1, 0]), phase=0)[0] == -100
+
+    def test_cycle_input_shape_check(self):
+        array = BitCellArray(SRAMPEConfig(rows=4, lanes=1))
+        with pytest.raises(ValueError):
+            array.evaluate_cycle(np.zeros(3), 0)
+
+
+class TestCrossValidation:
+    """The bit-level model and the fast dataflow model must agree exactly."""
+
+    @pytest.mark.parametrize("pattern", [NMPattern(1, 4), NMPattern(2, 8)],
+                             ids=["1:4", "2:8"])
+    def test_bit_level_equals_fast_model(self, rng, pattern):
+        w = sparse_int_matrix(rng, (32, 6), pattern)
+        x = rng.integers(-128, 128, size=(3, 32))
+
+        fast = SRAMSparsePE()
+        fast.load(w, pattern)
+        slow = BitLevelSparsePE()
+        slow.load(w, pattern)
+
+        np.testing.assert_array_equal(slow.matmul(x), fast.matmul(x))
+        np.testing.assert_array_equal(slow.matmul(x), x @ w)
+
+    def test_bit_level_extreme_operands(self):
+        pattern = NMPattern(1, 4)
+        w = np.zeros((8, 2), dtype=np.int64)
+        w[0, 0] = -128
+        w[4, 1] = 127
+        x = np.array([[-128, 0, 0, 0, 127, 0, 0, 0]])
+        pe = BitLevelSparsePE()
+        pe.load(w, pattern)
+        np.testing.assert_array_equal(pe.matmul(x), x @ w)
+
+    def test_requires_load(self, rng):
+        with pytest.raises(RuntimeError):
+            BitLevelSparsePE().matmul(rng.integers(0, 2, size=(1, 8)))
+
+    def test_capacity_check(self, rng):
+        pattern = NMPattern(2, 4)
+        w = sparse_int_matrix(rng, (128, 40), pattern)
+        with pytest.raises(ValueError):
+            BitLevelSparsePE().load(w, pattern)

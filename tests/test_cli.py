@@ -1,0 +1,46 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "experiments:" in out
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig7_with_json(self, tmp_path, capsys):
+        path = tmp_path / "fig7.json"
+        assert main(["fig7", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert len(data["rows"]) == 4
+
+    def test_fig8_runs(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "Fig. 8" in capsys.readouterr().out
+
+    def test_figures_runs(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7a" in out and "Fig. 8" in out
+
+    def test_endurance_runs(self, capsys):
+        assert main(["endurance"]) == 0
+        assert "endurance" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_experiment_list_complete(self):
+        assert set(EXPERIMENTS) >= {"table1", "table2", "fig7", "fig8",
+                                    "figures", "endurance", "ablations",
+                                    "all", "info"}

@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (TABLE1_TASKS, ClassPrototype, TaskSpec,
+                            base_pretraining_spec, downstream_specs,
+                            generate_task, load_downstream_task)
+
+
+class TestTaskSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec("x", num_classes=1, train_per_class=5, test_per_class=5)
+        with pytest.raises(ValueError):
+            TaskSpec("x", num_classes=3, train_per_class=0, test_per_class=5)
+
+
+class TestPrototype:
+    def test_deterministic_given_seed(self):
+        a = ClassPrototype(7, 16, 3)
+        b = ClassPrototype(7, 16, 3)
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        np.testing.assert_array_equal(a.render(rng1, 0.1, 1),
+                                      b.render(rng2, 0.1, 1))
+
+    def test_different_seeds_differ(self):
+        a = ClassPrototype(1, 16, 3)
+        b = ClassPrototype(2, 16, 3)
+        rng = np.random.default_rng(0)
+        img_a = a.render(rng, 0.0, 0)
+        img_b = b.render(np.random.default_rng(0), 0.0, 0)
+        assert not np.allclose(img_a, img_b)
+
+    def test_render_shape(self):
+        p = ClassPrototype(0, 12, 3)
+        img = p.render(np.random.default_rng(0), 0.2, 2)
+        assert img.shape == (3, 12, 12)
+
+
+class TestGeneration:
+    def test_shapes_and_labels(self):
+        spec = TaskSpec("t", num_classes=4, train_per_class=6,
+                        test_per_class=3, image_size=12)
+        train, test = generate_task(spec, seed=0)
+        assert train.inputs.shape == (24, 3, 12, 12)
+        assert test.inputs.shape == (12, 3, 12, 12)
+        assert sorted(set(train.labels.tolist())) == [0, 1, 2, 3]
+        counts = np.bincount(train.labels)
+        assert (counts == 6).all()
+
+    def test_normalized(self):
+        spec = TaskSpec("t", num_classes=3, train_per_class=10,
+                        test_per_class=4)
+        train, _ = generate_task(spec, seed=1)
+        assert abs(train.inputs.mean()) < 1e-5
+        assert train.inputs.std() == pytest.approx(1.0, abs=1e-3)
+
+    def test_reproducible(self):
+        spec = TaskSpec("t", num_classes=3, train_per_class=4, test_per_class=2)
+        a, _ = generate_task(spec, seed=5)
+        b, _ = generate_task(spec, seed=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_classes_are_separable(self):
+        """A nearest-centroid classifier should beat chance comfortably —
+        the tasks must be learnable for the accuracy study to mean anything."""
+        spec = TaskSpec("t", num_classes=4, train_per_class=20,
+                        test_per_class=10, noise=0.2)
+        train, test = generate_task(spec, seed=0)
+        centroids = np.stack([
+            train.inputs[train.labels == c].reshape(20, -1).mean(axis=0)
+            for c in range(4)])
+        flat = test.inputs.reshape(len(test), -1)
+        pred = np.argmin(
+            ((flat[:, None, :] - centroids[None]) ** 2).sum(-1), axis=1)
+        acc = (pred == test.labels).mean()
+        assert acc > 0.5  # chance = 0.25
+
+
+class TestDownstreamTasks:
+    def test_all_five_present(self):
+        specs = downstream_specs()
+        assert set(specs) == set(TABLE1_TASKS)
+
+    def test_load_by_name(self):
+        train, test = load_downstream_task("pets", scale=0.5)
+        assert len(train) > 0 and len(test) > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_downstream_task("mnist")
+
+    def test_scale_shrinks(self):
+        big, _ = load_downstream_task("cifar10", scale=1.0)
+        small, _ = load_downstream_task("cifar10", scale=0.5)
+        assert len(small) < len(big)
+
+    def test_disjoint_class_seeds(self):
+        """Distinct tasks draw from distinct class prototypes."""
+        specs = downstream_specs()
+        seeds = [s.class_seed for s in specs.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_food101_is_smallest_and_noisiest(self):
+        """The overfitting-prone analogue must have the smallest per-class
+        budget and highest noise among the five (paper Sec. 5.1 note)."""
+        specs = downstream_specs()
+        food = specs["food101"]
+        assert food.train_per_class == min(s.train_per_class
+                                           for s in specs.values())
+        assert food.noise == max(s.noise for s in specs.values())
+
+    def test_base_spec(self):
+        spec = base_pretraining_spec()
+        assert spec.num_classes >= 10
+        assert spec.name.startswith("base")

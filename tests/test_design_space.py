@@ -1,0 +1,95 @@
+"""Tests for the design-space exploration (Pareto sweep)."""
+
+import pytest
+
+from repro.core.design_space import (DesignPoint, explore, pareto_front,
+                                     sweep)
+from repro.core.workload import paper_workload
+from repro.sparsity import NMPattern
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return paper_workload()
+
+
+@pytest.fixture(scope="module")
+def points(workload):
+    return sweep(workload,
+                 patterns=(NMPattern(1, 8), NMPattern(1, 4), NMPattern(2, 4)),
+                 bus_widths=(64, 128))
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        a = DesignPoint("1:8", 128, area_mm2=1.0, training_edp_js=1.0,
+                        inference_latency_s=1.0, density=0.5)
+        b = DesignPoint("1:8", 128, area_mm2=2.0, training_edp_js=2.0,
+                        inference_latency_s=2.0, density=0.5)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_incomparable(self):
+        a = DesignPoint("x", 128, 1.0, 2.0, 1.0, 0.5)
+        b = DesignPoint("y", 128, 2.0, 1.0, 1.0, 0.5)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = DesignPoint("x", 128, 1.0, 1.0, 1.0, 0.5)
+        b = DesignPoint("x", 128, 1.0, 1.0, 1.0, 0.5)
+        assert not a.dominates(b)
+
+
+class TestSweep:
+    def test_all_combinations_evaluated(self, points):
+        assert len(points) == 3 * 2
+        assert all(p.area_mm2 > 0 and p.training_edp_js > 0 for p in points)
+
+    def test_wider_bus_no_slower(self, points):
+        by = {(p.pattern, p.bus_bits): p for p in points}
+        for pattern in ("1:8", "1:4", "2:4"):
+            assert by[(pattern, 128)].inference_latency_s <= \
+                by[(pattern, 64)].inference_latency_s + 1e-12
+
+    def test_density_axis(self, points):
+        by = {p.pattern: p.density for p in points}
+        assert by["2:4"] > by["1:4"] > by["1:8"]
+
+
+class TestPareto:
+    def test_front_nonempty_subset(self, points):
+        front = pareto_front(points)
+        assert 0 < len(front) <= len(points)
+        ids = {id(p) for p in points}
+        assert all(id(p) in ids for p in front)
+
+    def test_front_mutually_nondominated(self, points):
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_dominated_points_excluded(self, points):
+        front = pareto_front(points)
+        outside = [p for p in points if p not in front]
+        for p in outside:
+            assert any(q.dominates(p) for q in front)
+
+    def test_extremes_on_front(self, points):
+        """Min-area and max-density points are always Pareto-optimal."""
+        front = pareto_front(points)
+        min_area = min(points, key=lambda p: p.area_mm2)
+        max_density = max(points, key=lambda p: p.density)
+        assert any(p.area_mm2 == min_area.area_mm2 for p in front)
+        assert any(p.density == max_density.density for p in front)
+
+
+class TestExplore:
+    def test_structure(self, workload):
+        result = explore(workload, patterns=(NMPattern(1, 8), NMPattern(1, 4)),
+                         bus_widths=(128,))
+        assert set(result) == {"points", "pareto", "pareto_fraction"}
+        assert 0 < result["pareto_fraction"] <= 1.0
+        assert result["points"][0]["pattern"] in ("1:8", "1:4")

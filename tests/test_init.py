@@ -1,0 +1,98 @@
+"""Tests for the weight-initialization module."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestFanComputation:
+    def test_linear_fans(self):
+        lin = nn.Linear(12, 7)
+        fan_in, fan_out = init._fan_in_out(lin.weight)
+        assert (fan_in, fan_out) == (12, 7)
+
+    def test_conv_fans(self):
+        conv = nn.Conv2d(3, 8, 5)
+        fan_in, fan_out = init._fan_in_out(conv.weight)
+        assert (fan_in, fan_out) == (3 * 25, 8 * 25)
+
+    def test_unsupported_shape(self):
+        p = nn.Parameter(np.zeros(5))
+        with pytest.raises(ValueError):
+            init._fan_in_out(p)
+
+
+class TestStrategies:
+    def test_kaiming_uniform_bound(self, rng):
+        lin = nn.Linear(100, 50)
+        init.kaiming_uniform_(lin.weight, rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(lin.weight.data).max() <= bound + 1e-6
+
+    def test_kaiming_normal_variance(self, rng):
+        lin = nn.Linear(256, 256)
+        init.kaiming_normal_(lin.weight, rng)
+        expected_std = np.sqrt(2.0 / 256)
+        assert lin.weight.data.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_xavier_uniform_bound(self, rng):
+        lin = nn.Linear(64, 32)
+        init.xavier_uniform_(lin.weight, rng)
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(lin.weight.data).max() <= bound + 1e-6
+
+    def test_xavier_normal_variance(self, rng):
+        lin = nn.Linear(200, 200)
+        init.xavier_normal_(lin.weight, rng)
+        expected = np.sqrt(2.0 / 400)
+        assert lin.weight.data.std() == pytest.approx(expected, rel=0.1)
+
+    def test_orthogonal_rows(self, rng):
+        lin = nn.Linear(32, 16)  # weight (16, 32): rows orthonormal
+        init.orthogonal_(lin.weight, rng)
+        w = lin.weight.data.astype(np.float64)
+        gram = w @ w.T
+        np.testing.assert_allclose(gram, np.eye(16), atol=1e-5)
+
+    def test_zeros_and_constant(self):
+        lin = nn.Linear(4, 4)
+        init.zeros_(lin.weight)
+        assert (lin.weight.data == 0).all()
+        init.constant_(lin.bias, 0.5)
+        assert (lin.bias.data == 0.5).all()
+
+
+class TestInitModel:
+    def test_reinitializes_all_layers(self, rng):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3), nn.ReLU(), nn.Linear(4, 2))
+        before = model.layers[0].weight.data.copy()
+        init.init_model(model, "xavier_normal", rng)
+        assert not np.array_equal(model.layers[0].weight.data, before)
+        assert (model.layers[0].bias.data == 0).all()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            init.init_model(nn.Linear(2, 2), "magic")
+
+    def test_trains_after_reinit(self, rng):
+        """A re-initialized model still learns (smoke)."""
+        from repro.nn import functional as F
+        X = rng.standard_normal((100, 8)).astype(np.float32)
+        y = (X.astype(np.float64) @ rng.standard_normal((8, 2))).argmax(1)
+        model = nn.Sequential(nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 2))
+        init.init_model(model, "orthogonal", rng)
+        opt = nn.Adam(model.parameters(), lr=0.02)
+        for _ in range(50):
+            loss = F.cross_entropy(model(Tensor(X)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert F.accuracy(model(Tensor(X)), y) > 0.85

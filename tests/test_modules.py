@@ -1,0 +1,191 @@
+"""Unit tests for the module/layer system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.modules import Parameter
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def seed():
+    nn.set_seed(0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestParameter:
+    def test_freeze_unfreeze(self):
+        p = Parameter(np.ones(3))
+        assert p.trainable and p.requires_grad
+        p.freeze()
+        assert not p.trainable and not p.requires_grad
+        p.unfreeze()
+        assert p.trainable and p.requires_grad
+
+    def test_freeze_clears_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad = np.ones(3)
+        p.freeze()
+        assert p.grad is None
+
+
+class TestModuleTraversal:
+    def test_named_parameters_nested(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        lin = nn.Linear(4, 8)
+        assert lin.num_parameters() == 4 * 8 + 8
+        lin.weight.freeze()
+        assert lin.num_parameters(trainable_only=True) == 8
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert not model.layers[1].training
+        model.train()
+        assert model.layers[1].training
+
+    def test_zero_grad(self):
+        lin = nn.Linear(3, 3)
+        lin.weight.grad = np.ones((3, 3))
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        b = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_shape_check(self):
+        a = nn.Linear(3, 4)
+        with pytest.raises(ValueError):
+            a.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_save_load(self, tmp_path):
+        a = nn.Linear(3, 4)
+        path = str(tmp_path / "model.pkl")
+        a.save(path)
+        b = nn.Linear(3, 4)
+        b.load(path)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestLayers:
+    def test_linear_forward(self, rng):
+        lin = nn.Linear(5, 3)
+        x = rng.standard_normal((2, 5))
+        out = lin(Tensor(x))
+        np.testing.assert_allclose(
+            out.data, x @ lin.weight.data.T + lin.bias.data, rtol=1e-6)
+
+    def test_linear_no_bias(self):
+        lin = nn.Linear(5, 3, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_conv_weight_matrix_view(self):
+        conv = nn.Conv2d(3, 8, 3)
+        assert conv.weight_matrix().shape == (8, 27)
+
+    def test_conv_forward_shape(self, rng):
+        conv = nn.Conv2d(3, 6, 3, stride=2, padding=1)
+        out = conv(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_batchnorm_normalizes(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)) * 3 + 2)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)),
+                                   np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)),
+                                   np.ones(4), atol=1e-2)
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = rng.standard_normal((16, 2, 4, 4)) + 5.0
+        for _ in range(50):
+            bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x))
+        # running stats converged to batch stats -> output ~normalized
+        assert abs(out.data.mean()) < 0.3
+
+    def test_batchnorm_rejects_2d(self):
+        bn = nn.BatchNorm2d(2)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((3, 2))))
+
+    def test_dropout_eval_identity(self, rng):
+        drop = nn.Dropout(0.5)
+        drop.eval()
+        x = Tensor(rng.standard_normal((4, 4)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_dropout_scales(self, rng):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_sequential_indexing(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert isinstance(model[1], nn.ReLU)
+        assert len(model) == 2
+
+    def test_flatten(self, rng):
+        flat = nn.Flatten()
+        out = flat(Tensor(rng.standard_normal((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.AvgPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert nn.GlobalAvgPool2d()(x).shape == (1, 2)
+
+
+class TestTrainingIntegration:
+    def test_small_classifier_converges(self, rng):
+        """End-to-end: a small MLP reaches high accuracy on separable data."""
+        X = rng.standard_normal((150, 8))
+        W = rng.standard_normal((8, 3))
+        y = (X @ W).argmax(axis=1)
+        model = nn.Sequential(nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 3))
+        opt = nn.Adam(model.parameters(), lr=0.02)
+        for _ in range(80):
+            loss = F.cross_entropy(model(Tensor(X)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert F.accuracy(model(Tensor(X)), y) > 0.95
+
+    def test_frozen_params_do_not_move(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        model.layers[0].weight.freeze()
+        frozen_before = model.layers[0].weight.data.copy()
+        opt = nn.SGD(model.parameters(), lr=0.5)
+        X = rng.standard_normal((10, 4))
+        y = rng.integers(0, 2, 10)
+        loss = F.cross_entropy(model(Tensor(X)), y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        np.testing.assert_array_equal(model.layers[0].weight.data, frozen_before)

@@ -1,0 +1,148 @@
+"""Unit tests for the MRAM sparse PE and dense MRAM baseline simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core.mram_pe import (PIPELINE_DEPTH, MRAMDensePE, MRAMPEConfig,
+                                MRAMSparsePE)
+from repro.sparsity import NMPattern
+
+from .test_csc import sparse_int_matrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(44)
+
+
+class TestConfig:
+    def test_default_geometry_matches_paper(self):
+        cfg = MRAMPEConfig()
+        assert cfg.rows == 1024
+        assert cfg.row_bits == 512
+        assert cfg.array_bits == 1024 * 512
+        # 512 bits / (8+4) bits per pair = 42 pairs per row
+        assert cfg.pairs_per_row == 42
+
+    def test_too_narrow_row(self):
+        with pytest.raises(ValueError):
+            MRAMPEConfig(row_bits=8)
+
+
+class TestLoad:
+    def test_write_traffic(self, rng):
+        pattern = NMPattern(1, 8)
+        w = sparse_int_matrix(rng, (128, 16), pattern)
+        pe = MRAMSparsePE()
+        pe.load(w, pattern)
+        nnz = int((w != 0).sum())
+        assert pe.stats.weight_bits_written == nnz * 8
+        assert pe.stats.index_bits_written == nnz * 4
+
+    def test_rows_used(self, rng):
+        pattern = NMPattern(1, 4)
+        w = sparse_int_matrix(rng, (128, 16), pattern)
+        pe = MRAMSparsePE()
+        pe.load(w, pattern)
+        nnz = int((w != 0).sum())
+        assert pe.rows_used == int(np.ceil(nnz / 42))
+
+    def test_range_check(self):
+        w = np.zeros((8, 2), dtype=np.int64)
+        w[0, 0] = -200
+        with pytest.raises(ValueError):
+            MRAMSparsePE().load(w, NMPattern(1, 4))
+
+    def test_capacity_check(self, rng):
+        cfg = MRAMPEConfig(rows=2, row_bits=24)  # 2 pairs/row -> 4 pairs
+        pattern = NMPattern(1, 4)
+        w = sparse_int_matrix(rng, (64, 4), pattern)
+        with pytest.raises(ValueError):
+            MRAMSparsePE(cfg).load(w, pattern)
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("pattern", [NMPattern(1, 4), NMPattern(2, 8),
+                                         NMPattern(1, 16), NMPattern(4, 16)])
+    def test_exactness(self, rng, pattern):
+        w = sparse_int_matrix(rng, (96, 20), pattern)
+        x = rng.integers(-128, 128, size=(5, 96))
+        pe = MRAMSparsePE()
+        pe.load(w, pattern)
+        np.testing.assert_array_equal(pe.matmul(x), x @ w)
+
+    def test_pipeline_cycle_model(self, rng):
+        pattern = NMPattern(1, 4)
+        w = sparse_int_matrix(rng, (128, 16), pattern)
+        pe = MRAMSparsePE()
+        pe.load(w, pattern)
+        pe.matmul(rng.integers(-8, 8, size=(3, 128)))
+        expected = 3 * (pe.rows_used + PIPELINE_DEPTH - 1) * 8
+        assert pe.stats.cycles == expected
+        assert pe.stats.pipeline_stalls == 3 * (PIPELINE_DEPTH - 1)
+
+    def test_mux_gathers_counted(self, rng):
+        pattern = NMPattern(1, 8)
+        w = sparse_int_matrix(rng, (64, 8), pattern)
+        pe = MRAMSparsePE()
+        pe.load(w, pattern)
+        pe.matmul(rng.integers(-8, 8, size=(2, 64)))
+        assert pe.stats.mux_ops == 2 * int((w != 0).sum())
+
+    def test_requires_integer_activations(self, rng):
+        pattern = NMPattern(1, 4)
+        w = sparse_int_matrix(rng, (16, 2), pattern)
+        pe = MRAMSparsePE()
+        pe.load(w, pattern)
+        with pytest.raises(TypeError):
+            pe.matmul(rng.standard_normal((1, 16)))
+
+    def test_requires_load(self, rng):
+        with pytest.raises(RuntimeError):
+            MRAMSparsePE().matmul(rng.integers(0, 2, size=(1, 8)))
+
+    def test_empty_matrix(self):
+        pe = MRAMSparsePE()
+        pe.load(np.zeros((16, 4), dtype=np.int64), NMPattern(1, 4))
+        out = pe.matmul(np.ones((2, 16), dtype=np.int64))
+        np.testing.assert_array_equal(out, np.zeros((2, 4)))
+        assert pe.stats.cycles == 0  # no occupied rows -> no sweep
+
+
+class TestDenseMRAM:
+    def test_exactness(self, rng):
+        w = rng.integers(-127, 128, size=(100, 30))
+        x = rng.integers(-64, 64, size=(4, 100))
+        pe = MRAMDensePE()
+        pe.load(w)
+        np.testing.assert_array_equal(pe.matmul(x), x @ w)
+
+    def test_row_sequential_cycles(self, rng):
+        pe = MRAMDensePE()
+        w = rng.integers(-8, 8, size=(128, 10))   # 1280 weights / 64 = 20 rows
+        pe.load(w)
+        pe.matmul(rng.integers(-8, 8, size=(1, 128)))
+        assert pe.stats.cycles == (20 + PIPELINE_DEPTH - 1) * 8
+
+    def test_capacity(self, rng):
+        pe = MRAMDensePE(MRAMPEConfig(rows=2, row_bits=64))
+        with pytest.raises(ValueError):
+            pe.load(rng.integers(0, 2, size=(100, 10)))
+
+    def test_sparse_beats_dense_on_reads(self, rng):
+        """Same sparse matrix: sparse PE reads only non-zeros, dense reads all."""
+        pattern = NMPattern(1, 8)
+        w = sparse_int_matrix(rng, (128, 16), pattern)
+        x = rng.integers(-8, 8, size=(1, 128))
+
+        sparse_pe = MRAMSparsePE()
+        sparse_pe.load(w, pattern)
+        sparse_pe.matmul(x)
+
+        dense_pe = MRAMDensePE()
+        dense_pe.load(w)
+        dense_pe.matmul(x)
+
+        assert sparse_pe.stats.weight_bits_read < dense_pe.stats.weight_bits_read
+        assert sparse_pe.stats.macs < dense_pe.stats.macs
+        assert sparse_pe.stats.cycles < dense_pe.stats.cycles

@@ -1,0 +1,154 @@
+"""Unit tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import Parameter
+from repro.nn.optim import (SGD, Adam, CosineAnnealingLR, StepLR,
+                            clip_grad_norm)
+
+
+def quadratic_param(start=5.0):
+    """A parameter whose 'loss' is x^2 (gradient = 2x)."""
+    return Parameter(np.array([start]))
+
+
+def grad_step(p):
+    p.grad = 2 * p.data
+
+
+class TestSGD:
+    def test_plain_descent_converges(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            grad_step(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_momentum_faster_than_plain(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = SGD([p1], lr=0.02)
+        mom = SGD([p2], lr=0.02, momentum=0.9)
+        for _ in range(30):
+            grad_step(p1); plain.step()
+            grad_step(p2); mom.step()
+        assert abs(p2.data[0]) < abs(p1.data[0])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_skips_frozen(self):
+        p = quadratic_param()
+        p.freeze()
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([1.0])  # grad set manually despite freeze
+        p.trainable = False
+        opt.step()
+        assert p.data[0] == 5.0
+
+    def test_mask_pins_zeros(self):
+        p = Parameter(np.array([1.0, 2.0, 3.0, 4.0]))
+        opt = SGD([p], lr=0.5)
+        mask = np.array([1.0, 0.0, 1.0, 0.0])
+        p.data = p.data * mask
+        opt.set_mask(p, mask)
+        p.grad = np.ones(4)
+        opt.step()
+        assert p.data[1] == 0.0 and p.data[3] == 0.0
+        assert p.data[0] != 1.0  # unmasked weights move
+
+    def test_mask_shape_check(self):
+        p = Parameter(np.ones(4))
+        opt = SGD([p], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_mask(p, np.ones(3))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_converges(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            grad_step(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        # First Adam step moves by ~lr regardless of gradient scale.
+        assert p.data[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+    def test_mask_pins_zeros(self):
+        p = Parameter(np.array([0.0, 2.0]))
+        opt = Adam([p], lr=0.5)
+        opt.set_mask(p, np.array([0.0, 1.0]))
+        p.grad = np.ones(2)
+        opt.step()
+        assert p.data[0] == 0.0
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.1, 0.1, pytest.approx(0.01)]
+
+    def test_cosine_endpoints(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decrease(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        prev = opt.lr
+        for _ in range(20):
+            sched.step()
+            assert opt.lr <= prev + 1e-12
+            prev = opt.lr
+
+    def test_cosine_invalid_tmax(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)
+
+
+class TestGradClip:
+    def test_clips_large(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10  # norm 20
+        total = clip_grad_norm([p], 1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 0.1
+        clip_grad_norm([p], 10.0)
+        np.testing.assert_allclose(p.grad, 0.1 * np.ones(4))

@@ -1,0 +1,151 @@
+"""Tests for quantization-aware training (extension over the paper's PTQ)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.quant import QuantParams
+from repro.quant.qat import (FakeQuantize, attach_qat, detach_qat,
+                             fake_quantize_ste, finalize_qat)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestSTE:
+    def test_forward_on_grid(self, rng):
+        x = Tensor(rng.standard_normal(32), requires_grad=True)
+        scale = 0.01
+        out = fake_quantize_ste(x, scale)
+        np.testing.assert_allclose(out.data / scale,
+                                   np.round(out.data / scale), atol=1e-9)
+
+    def test_straight_through_gradient(self, rng):
+        x = Tensor(rng.standard_normal(16) * 0.1, requires_grad=True)
+        out = fake_quantize_ste(x, 0.01)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones(16))
+
+    def test_gradient_clipped_outside_range(self):
+        x = Tensor(np.array([0.0, 100.0, -100.0]), requires_grad=True)
+        out = fake_quantize_ste(x, 0.01)   # range +-1.27
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0, 0.0, 0.0])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            fake_quantize_ste(Tensor(np.ones(2)), 0.0)
+
+
+class TestFakeQuantize:
+    def test_scale_refresh(self, rng):
+        fq = FakeQuantize(refresh_every=2)
+        w = nn.Parameter(rng.standard_normal(8))
+        fq(w)
+        s1 = fq.scale
+        w.data = w.data * 10.0
+        fq(w)           # step 1: no refresh yet
+        assert fq.scale == s1
+        fq(w)           # step 2: refresh
+        assert fq.scale > s1
+
+    def test_invalid_refresh(self):
+        with pytest.raises(ValueError):
+            FakeQuantize(refresh_every=0)
+
+
+def _model():
+    nn.set_seed(3)
+    return nn.Sequential(nn.Linear(12, 24), nn.ReLU(), nn.Linear(24, 3))
+
+
+class TestAttachDetach:
+    def test_attach_changes_forward_output(self, rng):
+        model = _model()
+        x = Tensor(rng.standard_normal((4, 12)))
+        ref = model(x).data.copy()
+        attach_qat(model)
+        out = model(x).data
+        assert not np.allclose(out, ref)        # grid rounding visible
+        assert np.abs(out - ref).max() < 0.1    # but small
+
+    def test_detach_restores(self, rng):
+        model = _model()
+        x = Tensor(rng.standard_normal((4, 12)))
+        ref = model(x).data.copy()
+        attach_qat(model)
+        detach_qat(model)
+        np.testing.assert_allclose(model(x).data, ref)
+
+    def test_trainable_only_skips_frozen(self):
+        model = _model()
+        model.layers[0].weight.freeze()
+        quantizers = attach_qat(model, trainable_only=True)
+        assert len(quantizers) == 1
+
+    def test_finalize_bakes_grid(self, rng):
+        model = _model()
+        attach_qat(model)
+        report = finalize_qat(model)
+        assert set(report) == {"layer0.weight", "layer2.weight"}
+        for _, mod in model.named_modules():
+            if isinstance(mod, nn.Linear):
+                params = QuantParams.from_tensor(mod.weight.data)
+                np.testing.assert_allclose(
+                    mod.weight.data, params.fake_quantize(mod.weight.data),
+                    atol=params.scale / 2)
+        # wrappers removed
+        assert "forward" not in model.layers[0].__dict__
+
+
+class TestQATTraining:
+    def test_qat_trains_through_the_grid(self, rng):
+        """Training with STE still converges on separable data."""
+        X = rng.standard_normal((150, 12)).astype(np.float32)
+        y = (X.astype(np.float64) @ rng.standard_normal((12, 3))).argmax(1)
+        model = _model()
+        attach_qat(model, refresh_every=8)
+        opt = nn.Adam(model.parameters(), lr=0.02)
+        for _ in range(80):
+            loss = F.cross_entropy(model(Tensor(X)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        finalize_qat(model)
+        acc = F.accuracy(model(Tensor(X)), y)
+        assert acc > 0.9
+
+    def test_qat_at_least_as_good_as_ptq_after_finalize(self, rng):
+        """On a task where PTQ hurts, QAT should close (part of) the gap.
+
+        Uses a deliberately wide weight distribution (outlier channel) so
+        the per-tensor grid is coarse.
+        """
+        from repro.quant import quantize_model_ptq
+        X = rng.standard_normal((200, 12)).astype(np.float32)
+        y = (X.astype(np.float64) @ rng.standard_normal((12, 3))).argmax(1)
+
+        def train(model, qat):
+            if qat:
+                attach_qat(model, refresh_every=8)
+            opt = nn.Adam(model.parameters(), lr=0.02)
+            for _ in range(60):
+                loss = F.cross_entropy(model(Tensor(X)), y)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            if qat:
+                finalize_qat(model)
+            else:
+                # inject an outlier to make PTQ coarse, then PTQ
+                model.layers[0].weight.data[0, 0] = 20.0
+                quantize_model_ptq(model, per_channel=False)
+            return F.accuracy(model(Tensor(X)), y)
+
+        acc_qat = train(_model(), qat=True)
+        acc_ptq = train(_model(), qat=False)
+        assert acc_qat >= acc_ptq - 0.02

@@ -1,0 +1,205 @@
+"""Unit tests for INT8 quantization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.quant import (INT8_QMAX, INT8_QMIN, ActivationCalibrator,
+                         MinMaxObserver, PercentileObserver, QuantParams,
+                         fake_quantize_per_channel, per_channel_params,
+                         quantize_model_ptq, quantize_weight_int)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestQuantParams:
+    def test_roundtrip_error_bound(self, rng):
+        x = rng.standard_normal(1000)
+        params = QuantParams.from_tensor(x)
+        err = np.abs(params.fake_quantize(x) - x)
+        assert err.max() <= params.scale / 2 + 1e-12
+
+    def test_symmetric_zero_maps_to_zero(self, rng):
+        x = rng.standard_normal(100)
+        params = QuantParams.from_tensor(x, symmetric=True)
+        assert params.quantize(np.zeros(1))[0] == 0
+        assert params.dequantize(np.zeros(1, dtype=int))[0] == 0.0
+
+    def test_clipping(self):
+        params = QuantParams(scale=1.0)
+        q = params.quantize(np.array([500.0, -500.0]))
+        assert q[0] == INT8_QMAX and q[1] == INT8_QMIN
+
+    def test_affine_range(self):
+        params = QuantParams.from_range(0.0, 10.0, symmetric=False)
+        q = params.quantize(np.array([0.0, 10.0]))
+        assert q[0] == INT8_QMIN
+        assert q[1] == INT8_QMAX
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            QuantParams.from_range(2.0, 1.0)
+
+    def test_empty_tensor(self):
+        with pytest.raises(ValueError):
+            QuantParams.from_tensor(np.zeros(0))
+
+
+class TestWeightQuant:
+    def test_integer_extraction_preserves_zeros(self, rng):
+        w = rng.standard_normal((8, 8))
+        w[::2] = 0.0
+        q, params = quantize_weight_int(w)
+        assert (q[::2] == 0).all()
+        assert np.issubdtype(q.dtype, np.integer)
+
+    def test_range_within_int8(self, rng):
+        q, _ = quantize_weight_int(rng.standard_normal((100,)) * 50)
+        assert q.min() >= INT8_QMIN and q.max() <= INT8_QMAX
+
+    def test_per_channel_tighter_than_per_tensor(self, rng):
+        # channel 0 tiny, channel 1 huge: per-channel wins
+        w = np.stack([rng.standard_normal(64) * 0.01,
+                      rng.standard_normal(64) * 10.0])
+        pc = fake_quantize_per_channel(w, axis=0)
+        params = QuantParams.from_tensor(w)
+        pt = params.fake_quantize(w)
+        assert np.abs(pc[0] - w[0]).max() < np.abs(pt[0] - w[0]).max()
+
+    def test_per_channel_params_count(self, rng):
+        w = rng.standard_normal((5, 9))
+        assert len(per_channel_params(w)) == 5
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, -3.0]))
+        obs.observe(np.array([5.0]))
+        assert obs.quant_range() == (-5.0, 5.0)
+
+    def test_minmax_affine(self):
+        obs = MinMaxObserver(symmetric=False)
+        obs.observe(np.array([1.0, 4.0]))
+        assert obs.quant_range() == (1.0, 4.0)
+
+    def test_uninitialized_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().quant_range()
+
+    def test_percentile_resists_outliers(self, rng):
+        obs_p = PercentileObserver(percentile=99.0)
+        obs_m = MinMaxObserver()
+        data = rng.standard_normal(5000)
+        data[0] = 1000.0  # single outlier
+        obs_p.observe(data)
+        obs_m.observe(data)
+        assert obs_p.quant_range()[1] < obs_m.quant_range()[1] / 10
+
+    def test_percentile_invalid(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=10.0)
+
+
+class TestModelPTQ:
+    def _model(self):
+        nn.set_seed(0)
+        return nn.Sequential(nn.Linear(8, 16), nn.ReLU(), nn.Linear(16, 4))
+
+    def test_weights_land_on_grid(self):
+        model = self._model()
+        quantize_model_ptq(model, per_channel=False)
+        for _, mod in model.named_modules():
+            if isinstance(mod, nn.Linear):
+                w = mod.weight.data
+                params = QuantParams.from_tensor(w)
+                np.testing.assert_allclose(w, params.fake_quantize(w),
+                                           atol=params.scale / 2)
+
+    def test_outputs_close_to_fp32(self, rng):
+        model = self._model()
+        x = Tensor(rng.standard_normal((10, 8)))
+        ref = model(x).data.copy()
+        quantize_model_ptq(model)
+        out = model(x).data
+        # INT8 per-channel PTQ should track FP32 closely on a small model
+        assert np.abs(out - ref).max() < 0.1 * (np.abs(ref).max() + 1)
+
+    def test_trainable_only_skips_frozen(self):
+        model = self._model()
+        model.layers[0].weight.freeze()
+        before = model.layers[0].weight.data.copy()
+        report = quantize_model_ptq(model, trainable_only=True)
+        np.testing.assert_array_equal(model.layers[0].weight.data, before)
+        assert "layer0.weight" not in report
+
+    def test_report_names(self):
+        model = self._model()
+        report = quantize_model_ptq(model)
+        assert set(report) == {"layer0.weight", "layer2.weight"}
+
+
+class TestActivationCalibrator:
+    def test_collects_ranges(self, rng):
+        cal = ActivationCalibrator()
+        for _ in range(3):
+            cal.observe("conv1", rng.standard_normal(100))
+        params = cal.params()
+        assert "conv1" in params
+        assert params["conv1"].scale > 0
+
+
+class TestHistogramObserver:
+    def test_clips_long_tail(self, rng):
+        from repro.quant import HistogramObserver
+        data = rng.standard_normal(20000)
+        data[:20] *= 100.0
+        h = HistogramObserver()
+        m = MinMaxObserver()
+        h.observe(data)
+        m.observe(data)
+        assert h.quant_range()[1] < m.quant_range()[1] / 3
+
+    def test_keeps_full_range_when_uniformish(self, rng):
+        """With no outliers the KL threshold should stay near the max."""
+        from repro.quant import HistogramObserver
+        data = rng.uniform(-1, 1, 20000)
+        h = HistogramObserver()
+        h.observe(data)
+        lo, hi = h.quant_range()
+        assert hi > 0.8
+
+    def test_multi_batch_accumulation(self, rng):
+        from repro.quant import HistogramObserver
+        h = HistogramObserver()
+        for _ in range(5):
+            h.observe(rng.standard_normal(1000))
+        lo, hi = h.quant_range()
+        assert 0 < hi < 10
+
+    def test_uninitialized(self):
+        from repro.quant import HistogramObserver
+        import pytest as _pytest
+        with _pytest.raises(RuntimeError):
+            HistogramObserver().quant_range()
+
+    def test_bin_validation(self):
+        from repro.quant import HistogramObserver
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            HistogramObserver(bins=64, quant_levels=128)
+
+    def test_symmetric_range(self, rng):
+        from repro.quant import HistogramObserver
+        h = HistogramObserver()
+        h.observe(rng.standard_normal(5000))
+        lo, hi = h.quant_range()
+        assert lo == -hi

@@ -1,0 +1,89 @@
+"""Unit tests for the PEStats counters and report plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import PEStats
+
+
+class TestPEStats:
+    def test_merge_accumulates(self):
+        a = PEStats(cycles=10, macs=100)
+        b = PEStats(cycles=5, macs=50, weight_bits_read=8)
+        a.merge(b)
+        assert a.cycles == 15
+        assert a.macs == 150
+        assert a.weight_bits_read == 8
+
+    def test_merge_returns_self(self):
+        a = PEStats()
+        assert a.merge(PEStats(cycles=1)) is a
+
+    def test_add_operator(self):
+        c = PEStats(cycles=3) + PEStats(cycles=4)
+        assert c.cycles == 7
+
+    def test_scaled_replication(self):
+        """SIMT replication: one simulated tile stands for N identical ones."""
+        a = PEStats(cycles=10, macs=100, adder_tree_ops=7)
+        b = a.scaled(4)
+        assert b.cycles == 40 and b.macs == 400 and b.adder_tree_ops == 28
+        assert a.cycles == 10  # original untouched
+
+    def test_mac_efficiency(self):
+        s = PEStats(macs=25, dense_equivalent_macs=100)
+        assert s.mac_efficiency == 0.25
+        assert PEStats().mac_efficiency == 0.0
+
+    def test_as_dict_roundtrip(self):
+        s = PEStats(cycles=2, mux_ops=9)
+        d = s.as_dict()
+        assert d["cycles"] == 2 and d["mux_ops"] == 9
+        assert set(d) >= {"cycles", "macs", "weight_bits_read",
+                          "weight_bits_written", "pipeline_stalls"}
+
+
+class TestStatsThroughSimulators:
+    """Counters stay mutually consistent across a simulated run."""
+
+    def test_sram_pe_counter_relations(self):
+        from repro.core.sram_pe import SRAMSparsePE
+        from repro.sparsity import NMPattern, compute_nm_mask
+
+        rng = np.random.default_rng(5)
+        pattern = NMPattern(1, 4)
+        dense = rng.integers(-50, 50, size=(64, 8))
+        mask = compute_nm_mask(np.abs(dense).astype(float), pattern, axis=0)
+        w = (dense * mask).astype(np.int64)
+        pe = SRAMSparsePE()
+        pe.load(w, pattern)
+        batch = 3
+        pe.matmul(rng.integers(-8, 8, size=(batch, 64)))
+
+        nnz = int((w != 0).sum())
+        s = pe.stats
+        # each stored pair written once; read on every bit plane per vector
+        assert s.weight_bits_written == nnz * 8
+        assert s.weight_bits_read == nnz * 8 * 8 * batch
+        # comparators evaluate every index phase per pair per vector
+        assert s.comparator_ops == nnz * pattern.m * batch
+        # dense-equivalent work is the full matrix per vector
+        assert s.dense_equivalent_macs == 64 * 8 * batch
+
+    def test_counters_monotone_across_calls(self):
+        from repro.core.mram_pe import MRAMSparsePE
+        from repro.sparsity import NMPattern, compute_nm_mask
+
+        rng = np.random.default_rng(6)
+        pattern = NMPattern(2, 8)
+        dense = rng.integers(-50, 50, size=(32, 4))
+        mask = compute_nm_mask(np.abs(dense).astype(float), pattern, axis=0)
+        pe = MRAMSparsePE()
+        pe.load((dense * mask).astype(np.int64), pattern)
+        x = rng.integers(-8, 8, size=(1, 32))
+        pe.matmul(x)
+        snapshot = pe.stats.as_dict()
+        pe.matmul(x)
+        after = pe.stats.as_dict()
+        for key, before_val in snapshot.items():
+            assert after[key] >= before_val, key

@@ -1,0 +1,96 @@
+"""Tests for the Table 1 harness internals at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.harness.table1 import (TABLE1_ROWS, Table1Config, _backbone_accuracy,
+                                  _pretrain, _recovered_sparse_state,
+                                  _variant_model)
+from repro.datasets.synthetic import generate_task
+from repro.sparsity import NMPattern, prunable_parameters, verify_nm
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return Table1Config(base_classes=3, base_train_per_class=8,
+                        base_test_per_class=4, pretrain_epochs=1,
+                        recovery_epochs=1, task_scale=0.3, task_epochs=1,
+                        tasks=("pets",))
+
+
+@pytest.fixture(scope="module")
+def pretrained(tiny_config):
+    return _pretrain(tiny_config)
+
+
+class TestRows:
+    def test_paper_row_order(self):
+        labels = [label for label, _, _ in TABLE1_ROWS]
+        assert labels[0].startswith("Dense")
+        assert "1:8" in labels[1] and "1:8" in labels[2]
+        assert "1:4" in labels[3] and "1:4" in labels[4]
+
+    def test_precision_flags(self):
+        int8_flags = [int8 for _, _, int8 in TABLE1_ROWS]
+        assert int8_flags == [False, False, True, False, True]
+
+
+class TestPretrain:
+    def test_returns_consistent_states(self, pretrained, tiny_config):
+        state, head_w, head_b, acc, base_test, spec = pretrained
+        assert 0.0 <= acc <= 1.0
+        assert head_w.shape == (spec.num_classes, 64 + 0) or head_w.shape[0] \
+            == spec.num_classes
+        assert "stem.weight" in state
+
+
+class TestVariantModel:
+    def test_dense_variant_loads_backbone(self, pretrained, tiny_config):
+        state = pretrained[0]
+        model = _variant_model(tiny_config, state, None, False)
+        np.testing.assert_array_equal(
+            dict(model.backbone.named_parameters())["stem.weight"].data,
+            state["stem.weight"])
+
+    def test_sparse_variant_without_recovery_prunes(self, pretrained,
+                                                    tiny_config):
+        state = pretrained[0]
+        pattern = NMPattern(1, 4)
+        model = _variant_model(tiny_config, state, pattern, False)
+        for name, p in prunable_parameters(model.backbone,
+                                           min_reduction_dim=pattern.m):
+            assert verify_nm(p.data, pattern), name
+
+    def test_recovered_state_keeps_pattern(self, pretrained, tiny_config):
+        state, head_w, head_b, _, _, spec = pretrained
+        base_train, _ = generate_task(spec, seed=tiny_config.seed)
+        pattern = NMPattern(1, 4)
+        recovered = _recovered_sparse_state(tiny_config, state, head_w,
+                                            head_b, base_train, pattern)
+        model = _variant_model(tiny_config, state, pattern, False,
+                               {str(pattern): recovered})
+        for name, p in prunable_parameters(model.backbone,
+                                           min_reduction_dim=pattern.m):
+            assert verify_nm(p.data, pattern), name
+
+    def test_recovery_changes_surviving_weights(self, pretrained, tiny_config):
+        state, head_w, head_b, _, _, spec = pretrained
+        base_train, _ = generate_task(spec, seed=tiny_config.seed)
+        pattern = NMPattern(1, 4)
+        recovered = _recovered_sparse_state(tiny_config, state, head_w,
+                                            head_b, base_train, pattern)
+        # recovered weights differ from one-shot-pruned weights
+        oneshot = _variant_model(tiny_config, state, pattern, False)
+        rec = _variant_model(tiny_config, state, pattern, False,
+                             {str(pattern): recovered})
+        a = dict(oneshot.backbone.named_parameters())["stem.weight"].data
+        b = dict(rec.backbone.named_parameters())["stem.weight"].data
+        assert not np.array_equal(a, b)
+
+    def test_backbone_accuracy_helper(self, pretrained, tiny_config):
+        state, head_w, head_b, acc, base_test, spec = pretrained
+        model = _variant_model(tiny_config, state, None, False)
+        measured = _backbone_accuracy(model, head_w, head_b, base_test,
+                                      spec.num_classes,
+                                      tiny_config.batch_size)
+        assert measured == pytest.approx(acc, abs=1e-9)
