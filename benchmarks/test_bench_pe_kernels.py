@@ -7,12 +7,18 @@ pin the first-order architectural claims at PE granularity:
 * the sparse PE executes ~density x fewer real MACs,
 * the sparse PE reads ~density x fewer weight bits,
 * CSC storage is density * 1.5 of dense (12-bit pairs vs 8-bit weights).
+
+The PE matmul benches are parametrized over the kernel implementation
+(``reference`` per-column loops vs the vectorized ``fast`` plan from
+:mod:`repro.core.kernels`), so one run quantifies the simulator speedup at
+the paper's geometries.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.csc import CSCMatrix
+from repro.core.kernels import KERNEL_IMPLEMENTATIONS
 from repro.core.mram_pe import MRAMDensePE, MRAMSparsePE
 from repro.core.sram_pe import DenseDigitalPE, SRAMSparsePE
 from repro.sparsity import NMPattern, compute_nm_mask
@@ -29,24 +35,26 @@ def rng():
     return np.random.default_rng(0)
 
 
+@pytest.mark.parametrize("impl", KERNEL_IMPLEMENTATIONS)
 @pytest.mark.parametrize("pattern", [NMPattern(1, 4), NMPattern(2, 8),
                                      NMPattern(1, 8)],
                          ids=["1:4", "2:8", "1:8"])
-def test_bench_sram_pe_matmul(benchmark, rng, pattern):
+def test_bench_sram_pe_matmul(benchmark, rng, pattern, impl):
     w = make_sparse(rng, (128, 8), pattern)
     x = rng.integers(-128, 128, size=(16, 128))
-    pe = SRAMSparsePE()
+    pe = SRAMSparsePE(kernel=impl)
     pe.load(w, pattern)
     out = benchmark(pe.matmul, x)
     np.testing.assert_array_equal(out, x @ w)
 
 
+@pytest.mark.parametrize("impl", KERNEL_IMPLEMENTATIONS)
 @pytest.mark.parametrize("pattern", [NMPattern(1, 4), NMPattern(1, 8)],
                          ids=["1:4", "1:8"])
-def test_bench_mram_pe_matmul(benchmark, rng, pattern):
+def test_bench_mram_pe_matmul(benchmark, rng, pattern, impl):
     w = make_sparse(rng, (256, 32), pattern)
     x = rng.integers(-128, 128, size=(16, 256))
-    pe = MRAMSparsePE()
+    pe = MRAMSparsePE(kernel=impl)
     pe.load(w, pattern)
     out = benchmark(pe.matmul, x)
     np.testing.assert_array_equal(out, x @ w)

@@ -17,6 +17,8 @@ from .design_space import DesignPoint, explore, pareto_front
 from .fault_injection import (classification_flip_rate, gemm_error_study,
                               inject_weight_bit_flips)
 from .csc import CSCColumn, CSCMatrix, tile_matrix
+from .kernels import (DEFAULT_KERNEL, KERNEL_ENV_VAR, KERNEL_IMPLEMENTATIONS,
+                      KernelPlan, resolve_kernel, spmm_bitserial, spmm_gather)
 from .designs import DenseCIMDesign, HybridSparseDesign, PerfReport
 from .mapper import (CoreConfig, HybridMapper, MappingPlan, Tile,
                      dense_core_requirement, tile_layer_shapes)
@@ -33,6 +35,8 @@ from .workload import (LayerWorkload, Workload, extract_repnet_workload,
 
 __all__ = [
     "CSCMatrix", "CSCColumn", "tile_matrix",
+    "KernelPlan", "spmm_gather", "spmm_bitserial", "resolve_kernel",
+    "DEFAULT_KERNEL", "KERNEL_ENV_VAR", "KERNEL_IMPLEMENTATIONS",
     "to_bit_planes", "from_partials", "plane_weight",
     "SRAMPEConfig", "SRAMSparsePE", "DenseDigitalPE",
     "MRAMPEConfig", "MRAMSparsePE", "MRAMDensePE", "PIPELINE_DEPTH",

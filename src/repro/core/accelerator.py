@@ -54,10 +54,15 @@ class HybridAccelerator:
     def __init__(self, pattern: NMPattern,
                  sram_config: Optional[SRAMPEConfig] = None,
                  mram_config: Optional[MRAMPEConfig] = None,
-                 tech: TechnologyModel = DEFAULT_TECH):
+                 tech: TechnologyModel = DEFAULT_TECH,
+                 kernel: Optional[str] = None):
         self.pattern = pattern
         self.sram_config = sram_config or SRAMPEConfig()
         self.mram_config = mram_config or MRAMPEConfig()
+        # Kernel implementation for every PE this accelerator instantiates
+        # (None -> the REPRO_KERNEL env var -> the "fast" default).  Purely a
+        # simulator-speed knob: stats/energy are identical either way.
+        self.kernel = kernel
         self.cost = CostModel(tech)
         self.gemms: Dict[str, MappedGemm] = {}
         self.backprop = BackpropEngine(self.sram_config)
@@ -99,8 +104,9 @@ class HybridAccelerator:
         for r, c, rows, cols in tile_layer_shapes(
                 in_dim, out_dim, self.pattern, pe_pairs, max_rows=max_rows):
             block = weight_int[r:r + rows, c:c + cols]
-            pe = (SRAMSparsePE(self.sram_config) if kind == "sram"
-                  else MRAMSparsePE(self.mram_config))
+            pe = (SRAMSparsePE(self.sram_config, kernel=self.kernel)
+                  if kind == "sram"
+                  else MRAMSparsePE(self.mram_config, kernel=self.kernel))
             pe.load(block, self.pattern)
             tiles.append((r, c, pe))
 

@@ -27,6 +27,8 @@ import numpy as np
 from ..sparsity.nm import NMPattern
 from .bitserial import plane_weight
 from .csc import CSCMatrix
+from .kernels import (KernelPlan, require_integer_activations,
+                      spmm_bitserial)
 from .sram_pe import SRAMPEConfig
 
 
@@ -119,11 +121,14 @@ class BitLevelSparsePE:
     row-wise (cross-lane) accumulation for spilled columns.
     """
 
-    def __init__(self, config: Optional[SRAMPEConfig] = None):
+    def __init__(self, config: Optional[SRAMPEConfig] = None,
+                 kernel: Optional[str] = None):
         self.config = config or SRAMPEConfig()
+        self.kernel = kernel  # None -> REPRO_KERNEL env var -> default
         self.array = BitCellArray(self.config)
         self._placements: List[List[Tuple[int, int]]] = []  # per column: cells
         self._col_rows: List[np.ndarray] = []
+        self._plan: Optional[KernelPlan] = None
         self._pattern: Optional[NMPattern] = None
         self._shape: Optional[Tuple[int, int]] = None
 
@@ -147,34 +152,39 @@ class BitLevelSparsePE:
             self._col_rows.append(col.row_indices(pattern.m))
         self._pattern = pattern
         self._shape = csc.shape
+        self._plan = self._plan_from_cells()
+
+    def _plan_from_cells(self) -> KernelPlan:
+        """Rebuild the kernel plan by decoding the stored bit-cells.
+
+        Every weight goes through :meth:`BitCellArray.stored_weight` — the
+        per-bit two's-complement decode over the physical cells — so the
+        matmul operands are anchored to the bit-level storage, not to the
+        CSC input that produced it.
+        """
+        columns: List[Tuple[np.ndarray, np.ndarray]] = []
+        for cells, rows in zip(self._placements, self._col_rows):
+            values = np.array([self.array.stored_weight(r, l)
+                               for r, l in cells], dtype=np.int64)
+            columns.append((np.asarray(rows, dtype=np.int64), values))
+        return KernelPlan.from_columns(columns, self._shape)
 
     def matmul(self, activations: np.ndarray) -> np.ndarray:
-        """Exact sparse matmul via explicit per-cycle circuit evaluation."""
+        """Exact sparse matmul over the bit-cell contents.
+
+        The operands are read back bit-by-bit from the array (see
+        :meth:`_plan_from_cells`); the phase x bit-plane schedule itself is
+        executed by the shared :func:`~repro.core.kernels.spmm_bitserial`
+        kernel, so this model cross-validates the storage circuits while the
+        differential suite cross-validates the kernels.
+        """
         if self._pattern is None:
             raise RuntimeError("load() a matrix first")
         cfg = self.config
-        m = self._pattern.m
         activations = np.atleast_2d(np.asarray(activations))
         batch, in_dim = activations.shape
         if in_dim != self._shape[0]:
             raise ValueError("activation dim mismatch")
-
-        out = np.zeros((batch, self._shape[1]), dtype=np.int64)
-        for s in range(batch):
-            x = activations[s]
-            # accumulate per stored cell: cell (row,lane) belongs to exactly
-            # one logical column; evaluate the schedule cell-wise.
-            for c, (cells, rows) in enumerate(zip(self._placements,
-                                                  self._col_rows)):
-                total = 0
-                for (prow, plane_lane), orig_row in zip(cells, rows):
-                    xval = int(x[orig_row])
-                    unsigned = xval + (1 << cfg.input_bits) if xval < 0 else xval
-                    weight = self.array.stored_weight(prow, plane_lane)
-                    # bit-serial: stream each input bit plane in its cycle
-                    for b in range(cfg.input_bits):
-                        bit = (unsigned >> b) & 1
-                        if bit:
-                            total += plane_weight(b, cfg.input_bits) * weight
-                out[s, c] = total
-        return out
+        require_integer_activations(activations, "SRAM PE")
+        return spmm_bitserial(self._plan, activations, cfg.input_bits,
+                              impl=self.kernel)

@@ -27,11 +27,10 @@ def to_bit_planes(values: np.ndarray, bits: int = 8) -> np.ndarray:
     lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
     if values.min(initial=0) < lo or values.max(initial=0) > hi:
         raise ValueError(f"values outside signed {bits}-bit range [{lo}, {hi}]")
-    unsigned = np.where(values < 0, values + (1 << bits), values).astype(np.int64)
-    planes = np.empty((bits,) + values.shape, dtype=np.int64)
-    for b in range(bits):
-        planes[b] = (unsigned >> b) & 1
-    return planes
+    # Masking with 2**bits - 1 IS the two's-complement wrap for negatives.
+    unsigned = values.astype(np.int64) & ((1 << bits) - 1)
+    shifts = np.arange(bits, dtype=np.int64).reshape((bits,) + (1,) * values.ndim)
+    return (unsigned[np.newaxis, ...] >> shifts) & 1
 
 
 def plane_weight(bit: int, bits: int) -> int:
@@ -46,6 +45,20 @@ def plane_weight(bit: int, bits: int) -> int:
     return 1 << bit
 
 
+_PLANE_WEIGHTS: dict = {}
+
+
+def plane_weights(bits: int) -> np.ndarray:
+    """The vector of all ``bits`` plane weights (cached, read-only)."""
+    weights = _PLANE_WEIGHTS.get(bits)
+    if weights is None:
+        weights = np.array([plane_weight(b, bits) for b in range(bits)],
+                           dtype=np.int64)
+        weights.setflags(write=False)
+        _PLANE_WEIGHTS[bits] = weights
+    return weights
+
+
 def from_partials(partials: np.ndarray, bits: int) -> np.ndarray:
     """Recombine per-bit-plane partial sums into the final integer result.
 
@@ -55,10 +68,8 @@ def from_partials(partials: np.ndarray, bits: int) -> np.ndarray:
     partials = np.asarray(partials)
     if partials.shape[0] != bits:
         raise ValueError(f"expected {bits} planes, got {partials.shape[0]}")
-    result = np.zeros(partials.shape[1:], dtype=np.int64)
-    for b in range(bits):
-        result += plane_weight(b, bits) * partials[b]
-    return result
+    return np.tensordot(plane_weights(bits), partials.astype(np.int64),
+                        axes=([0], [0]))
 
 
 def weight_bit_planes(weights: np.ndarray, bits: int = 8

@@ -60,6 +60,9 @@ class CSCMatrix:
         self.columns = columns
         self.shape = shape
         self.pattern = pattern
+        # nnz is read on every matmul's stats charge; columns are fixed after
+        # construction, so cache the sum instead of re-walking out_dim columns.
+        self._nnz = sum(col.nnz for col in columns)
 
     # -------------------------------------------------------------- encoding
     @classmethod
@@ -100,16 +103,13 @@ class CSCMatrix:
     # -------------------------------------------------------------- decoding
     def decode(self) -> np.ndarray:
         """Reconstruct the dense matrix (exact)."""
-        dense = np.zeros(self.shape, dtype=np.int64)
-        m = self.pattern.m
-        for c, col in enumerate(self.columns):
-            dense[col.row_indices(m), c] = col.values
-        return dense
+        from .kernels import KernelPlan
+        return KernelPlan.from_csc(self).decode()
 
     # ------------------------------------------------------------ statistics
     @property
     def nnz(self) -> int:
-        return sum(col.nnz for col in self.columns)
+        return self._nnz
 
     def storage_bits(self, weight_bits: int = 8,
                      index_bits: Optional[int] = None) -> int:

@@ -1,0 +1,268 @@
+"""Sparse-PE compute kernels: one contract, two interchangeable implementations.
+
+Both PE functional models reduce to the same two primitives:
+
+* :func:`spmm_gather` — the MRAM near-memory dataflow (Fig. 5): per stored
+  (weight, index) pair the activation-buffer MUX gathers ``x[group*m + idx]``
+  and the shift-and-accumulators fold the products per output column.
+* :func:`spmm_bitserial` — the SRAM in-memory dataflow (Fig. 3): activations
+  stream as two's-complement bit planes, comparator-gated partial products
+  are adder-tree-summed per plane, and the shift accumulator recombines the
+  planes.
+
+Each primitive ships in two implementations selected by the ``impl``
+argument, the ``REPRO_KERNEL`` environment variable, or the default:
+
+``reference``
+    The readable per-column Python loops the PE models originally inlined.
+    One numpy call per output column (and per bit plane for the SRAM
+    kernel) — easy to audit against the paper's dataflow description, slow.
+
+``fast``
+    Fully vectorized.  A :class:`KernelPlan` built once at ``load()`` time
+    flattens the CSC columns into contiguous ``values`` / ``row_indices`` /
+    ``col_ptr`` arrays plus a zero-padded ``(max_nnz, out_dim)`` gather
+    matrix, so an entire matmul is one fancy-index gather plus one einsum —
+    and the SRAM bit-plane loop collapses into a single
+    ``(bits, batch, nnz)``-shaped tensor contraction.
+
+The two implementations are bit-identical on int64 (enforced by
+``tests/test_kernels_differential.py``), and the choice is observably pure:
+stats charging lives in the PE models and is analytical (derived from nnz,
+geometry and batch — never from loop trip counts), so switching kernels can
+never change reported cycles, energy or any other hardware number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bitserial import from_partials, to_bit_planes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .csc import CSCMatrix
+
+#: Environment variable selecting the process-wide default implementation.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Implementation used when neither ``impl`` nor the env var says otherwise.
+DEFAULT_KERNEL = "fast"
+
+#: The recognised implementation names.
+KERNEL_IMPLEMENTATIONS = ("reference", "fast")
+
+
+def resolve_kernel(impl: Optional[str] = None) -> str:
+    """Resolve an implementation name: argument > ``REPRO_KERNEL`` > default."""
+    name = impl or os.environ.get(KERNEL_ENV_VAR) or DEFAULT_KERNEL
+    if name not in KERNEL_IMPLEMENTATIONS:
+        raise ValueError(
+            f"unknown kernel implementation {name!r}; "
+            f"choose from {KERNEL_IMPLEMENTATIONS}")
+    return name
+
+
+def require_integer_activations(activations: np.ndarray, pe_name: str) -> None:
+    """Reject float activations up front (silent truncation is a footgun)."""
+    if not np.issubdtype(np.asarray(activations).dtype, np.integer):
+        raise TypeError(f"{pe_name} consumes integer activations")
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelPlan:
+    """A CSC matrix flattened into kernel-ready arrays, built once per load.
+
+    ``values`` / ``row_indices`` / ``col_ptr`` are the classic compressed
+    sparse column triplet (``col_ptr`` has ``out_dim + 1`` entries; column
+    ``c`` owns the half-open slice ``col_ptr[c]:col_ptr[c+1]``).  On top of
+    that, ``gather_rows`` / ``gather_values`` are the same data padded into
+    dense ``(max_nnz, out_dim)`` matrices — padding slots carry row 0 with
+    value 0, so they gather a real activation but contribute nothing — which
+    is what lets the fast kernels run the whole matmul as one gather + one
+    contraction.
+    """
+
+    shape: Tuple[int, int]
+    values: np.ndarray        # (nnz,) int64 — non-zero weights, column-major
+    row_indices: np.ndarray   # (nnz,) int64 — original (dense) row of each value
+    col_ptr: np.ndarray       # (out_dim + 1,) int64 — column start offsets
+    gather_rows: np.ndarray   # (max_nnz, out_dim) int64 — padded row indices
+    gather_values: np.ndarray  # (max_nnz, out_dim) int64 — padded values
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_columns(cls, columns: Sequence[Tuple[np.ndarray, np.ndarray]],
+                     shape: Tuple[int, int]) -> "KernelPlan":
+        """Build a plan from per-column ``(row_indices, values)`` pairs."""
+        out_dim = shape[1]
+        if len(columns) != out_dim:
+            raise ValueError(f"{len(columns)} columns for shape {shape}")
+        counts = np.array([len(rows) for rows, _ in columns], dtype=np.int64)
+        col_ptr = np.zeros(out_dim + 1, dtype=np.int64)
+        np.cumsum(counts, out=col_ptr[1:])
+        nnz = int(col_ptr[-1])
+        if nnz:
+            row_indices = np.concatenate(
+                [np.asarray(rows, dtype=np.int64) for rows, _ in columns])
+            values = np.concatenate(
+                [np.asarray(vals, dtype=np.int64) for _, vals in columns])
+        else:
+            row_indices = np.zeros(0, dtype=np.int64)
+            values = np.zeros(0, dtype=np.int64)
+
+        max_nnz = int(counts.max()) if out_dim else 0
+        gather_rows = np.zeros((max_nnz, out_dim), dtype=np.int64)
+        gather_values = np.zeros((max_nnz, out_dim), dtype=np.int64)
+        for c in range(out_dim):
+            lo, hi = col_ptr[c], col_ptr[c + 1]
+            gather_rows[:hi - lo, c] = row_indices[lo:hi]
+            gather_values[:hi - lo, c] = values[lo:hi]
+        return cls(shape=shape, values=values, row_indices=row_indices,
+                   col_ptr=col_ptr, gather_rows=gather_rows,
+                   gather_values=gather_values)
+
+    @classmethod
+    def from_csc(cls, csc: "CSCMatrix") -> "KernelPlan":
+        """Flatten a :class:`~repro.core.csc.CSCMatrix` into a plan."""
+        m = csc.pattern.m
+        return cls.from_columns(
+            [(col.row_indices(m), col.values) for col in csc.columns],
+            csc.shape)
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def max_column_nnz(self) -> int:
+        return self.gather_rows.shape[0]
+
+    def column_slices(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(column, row_indices, values)`` — the reference kernels'
+        view of the plan, identical to walking ``csc.columns``."""
+        for c in range(self.shape[1]):
+            lo, hi = self.col_ptr[c], self.col_ptr[c + 1]
+            yield c, self.row_indices[lo:hi], self.values[lo:hi]
+
+    def decode(self) -> np.ndarray:
+        """Scatter the plan back to the dense ``(in_dim, out_dim)`` matrix."""
+        dense = np.zeros(self.shape, dtype=np.int64)
+        if self.nnz:
+            col_ids = np.repeat(np.arange(self.shape[1], dtype=np.int64),
+                                np.diff(self.col_ptr))
+            dense[self.row_indices, col_ids] = self.values
+        return dense
+
+
+def _check_activations(plan: KernelPlan, activations: np.ndarray) -> np.ndarray:
+    activations = np.atleast_2d(np.asarray(activations))
+    if activations.shape[1] != plan.shape[0]:
+        raise ValueError(
+            f"activation dim {activations.shape[1]} != matrix in_dim "
+            f"{plan.shape[0]}")
+    return activations
+
+
+# ---------------------------------------------------------------------------
+# spmm_gather — MRAM-style MUX-select dataflow
+# ---------------------------------------------------------------------------
+
+def _spmm_gather_reference(plan: KernelPlan,
+                           activations: np.ndarray) -> np.ndarray:
+    """Per-column loop, moved verbatim from ``MRAMSparsePE.matmul``."""
+    batch = activations.shape[0]
+    out = np.zeros((batch, plan.shape[1]), dtype=np.int64)
+    for c, rows, vals in plan.column_slices():
+        if len(rows) == 0:
+            continue
+        # Stage 2: MUX-select activations by (group, intra-index).
+        selected = activations[:, rows].astype(np.int64)
+        # Stage 3: parallel shift-and-accumulate, then adder-tree fold.
+        out[:, c] = selected @ vals
+    return out
+
+
+def _spmm_gather_fast(plan: KernelPlan, activations: np.ndarray) -> np.ndarray:
+    """One fancy-index gather + one einsum over the padded plan."""
+    batch = activations.shape[0]
+    if plan.nnz == 0:
+        return np.zeros((batch, plan.shape[1]), dtype=np.int64)
+    gathered = activations.astype(np.int64)[:, plan.gather_rows]
+    return np.einsum("bkc,kc->bc", gathered, plan.gather_values)
+
+
+def spmm_gather(plan: KernelPlan, activations: np.ndarray,
+                impl: Optional[str] = None) -> np.ndarray:
+    """``activations @ W`` via MUX-select gather (int64, bit-exact).
+
+    ``activations``: integer ``(batch, in_dim)``.  Returns ``(batch,
+    out_dim)`` int64, equal to ``activations @ plan.decode()`` exactly.
+    """
+    activations = _check_activations(plan, activations)
+    return _GATHER_IMPLS[resolve_kernel(impl)](plan, activations)
+
+
+# ---------------------------------------------------------------------------
+# spmm_bitserial — SRAM-style bit-plane x index-phase dataflow
+# ---------------------------------------------------------------------------
+
+def _spmm_bitserial_reference(plan: KernelPlan, activations: np.ndarray,
+                              input_bits: int) -> np.ndarray:
+    """Per-column, per-bit-plane loop, moved verbatim from
+    ``SRAMSparsePE.matmul``."""
+    planes = to_bit_planes(activations, input_bits)  # (bits, batch, in)
+    batch = activations.shape[0]
+    out = np.zeros((batch, plan.shape[1]), dtype=np.int64)
+    for c, rows, vals in plan.column_slices():
+        if len(rows) == 0:
+            continue
+        # Step 1+2: for each bit plane, comparator-gated partial products.
+        partials = np.empty((input_bits, batch), dtype=np.int64)
+        for b in range(input_bits):
+            # All phases t of the index sweep contribute; entry (row i)
+            # fires in phase t == intra index, receiving activation bit
+            # planes[b][:, rows].  Summing over the sweep == one gather.
+            partials[b] = planes[b][:, rows] @ vals
+        # Step 3: shift accumulate (two's complement plane weights).
+        out[:, c] = from_partials(partials, input_bits)
+    return out
+
+
+def _spmm_bitserial_fast(plan: KernelPlan, activations: np.ndarray,
+                         input_bits: int) -> np.ndarray:
+    """All bit planes, columns and batch rows in one tensor contraction."""
+    planes = to_bit_planes(activations, input_bits)  # (bits, batch, in)
+    batch = activations.shape[0]
+    if plan.nnz == 0:
+        return np.zeros((batch, plan.shape[1]), dtype=np.int64)
+    gathered = planes[:, :, plan.gather_rows]  # (bits, batch, max_nnz, out)
+    partials = np.einsum("abkc,kc->abc", gathered, plan.gather_values)
+    return from_partials(partials, input_bits)
+
+
+def spmm_bitserial(plan: KernelPlan, activations: np.ndarray,
+                   input_bits: int, impl: Optional[str] = None) -> np.ndarray:
+    """``activations @ W`` via the bit-serial schedule (int64, bit-exact).
+
+    Walks (reference) or contracts (fast) the bit-plane x phase dataflow;
+    either way the result equals ``activations @ plan.decode()`` exactly.
+    """
+    activations = _check_activations(plan, activations)
+    return _BITSERIAL_IMPLS[resolve_kernel(impl)](plan, activations,
+                                                  input_bits)
+
+
+_GATHER_IMPLS = {
+    "reference": _spmm_gather_reference,
+    "fast": _spmm_gather_fast,
+}
+
+_BITSERIAL_IMPLS = {
+    "reference": _spmm_bitserial_reference,
+    "fast": _spmm_bitserial_fast,
+}

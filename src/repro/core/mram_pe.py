@@ -33,8 +33,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..sparsity.nm import NMPattern
-from .bitserial import from_partials
 from .csc import CSCMatrix
+from .kernels import KernelPlan, require_integer_activations, spmm_gather
 from .stats import PEStats
 
 PIPELINE_DEPTH = 3  # read idx/weight -> fetch activation -> shift-acc
@@ -71,10 +71,13 @@ class MRAMPEConfig:
 class MRAMSparsePE:
     """Functional + cycle model of the near-memory MRAM sparse PE."""
 
-    def __init__(self, config: Optional[MRAMPEConfig] = None):
+    def __init__(self, config: Optional[MRAMPEConfig] = None,
+                 kernel: Optional[str] = None):
         self.config = config or MRAMPEConfig()
+        self.kernel = kernel  # None -> REPRO_KERNEL env var -> default
         self.csc: Optional[CSCMatrix] = None
         self.stats = PEStats()
+        self._plan: Optional[KernelPlan] = None
         self._dense_cache: Optional[np.ndarray] = None
         self._rows_used = 0
 
@@ -103,7 +106,8 @@ class MRAMSparsePE:
                 f"pattern {pattern} needs {pattern.index_bits}-bit indices")
 
         self.csc = csc
-        self._dense_cache = csc.decode()
+        self._plan = KernelPlan.from_csc(csc)
+        self._dense_cache = self._plan.decode()
         self._rows_used = int(np.ceil(csc.nnz / cfg.pairs_per_row)) if csc.nnz else 0
 
         self.stats.weight_bits_written += csc.nnz * cfg.weight_bits
@@ -133,25 +137,15 @@ class MRAMSparsePE:
         """
         if self.csc is None:
             raise RuntimeError("load() a weight matrix first")
-        cfg = self.config
         csc = self.csc
-        m = csc.pattern.m
         activations = np.atleast_2d(np.asarray(activations))
         batch, in_dim = activations.shape
         if in_dim != csc.shape[0]:
             raise ValueError(
                 f"activation dim {in_dim} != matrix in_dim {csc.shape[0]}")
-        if not np.issubdtype(activations.dtype, np.integer):
-            raise TypeError("MRAM PE consumes integer activations")
+        require_integer_activations(activations, "MRAM PE")
 
-        out = np.zeros((batch, csc.shape[1]), dtype=np.int64)
-        for c, col in enumerate(csc.columns):
-            if col.nnz == 0:
-                continue
-            # Stage 2: MUX-select activations by (group, intra-index).
-            selected = activations[:, col.row_indices(m)].astype(np.int64)
-            # Stage 3: parallel shift-and-accumulate, then adder-tree fold.
-            out[:, c] = selected @ col.values
+        out = spmm_gather(self._plan, activations, impl=self.kernel)
 
         self._charge_matmul_stats(batch)
         return out
@@ -214,7 +208,9 @@ class MRAMDensePE:
     def matmul(self, activations: np.ndarray) -> np.ndarray:
         if self.weight is None:
             raise RuntimeError("load() a weight matrix first")
-        activations = np.atleast_2d(np.asarray(activations)).astype(np.int64)
+        activations = np.atleast_2d(np.asarray(activations))
+        require_integer_activations(activations, "MRAM PE")
+        activations = activations.astype(np.int64)
         batch = activations.shape[0]
         out = activations @ self.weight
 

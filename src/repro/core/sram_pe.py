@@ -42,8 +42,10 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..sparsity.nm import NMPattern
-from .bitserial import from_partials, plane_weight, to_bit_planes
+from .bitserial import from_partials, to_bit_planes
 from .csc import CSCMatrix
+from .kernels import (KernelPlan, require_integer_activations,
+                      spmm_bitserial)
 from .stats import PEStats
 
 
@@ -89,11 +91,14 @@ class _Placement:
 class SRAMSparsePE:
     """Functional + cycle-accurate model of the SRAM sparse PE."""
 
-    def __init__(self, config: Optional[SRAMPEConfig] = None):
+    def __init__(self, config: Optional[SRAMPEConfig] = None,
+                 kernel: Optional[str] = None):
         self.config = config or SRAMPEConfig()
+        self.kernel = kernel  # None -> REPRO_KERNEL env var -> default
         self.csc: Optional[CSCMatrix] = None
         self.placements: List[_Placement] = []
         self.stats = PEStats()
+        self._plan: Optional[KernelPlan] = None
         self._dense_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ load
@@ -138,7 +143,8 @@ class SRAMSparsePE:
 
         self.csc = csc
         self.placements = placements
-        self._dense_cache = csc.decode()
+        self._plan = KernelPlan.from_csc(csc)
+        self._dense_cache = self._plan.decode()
 
         self.stats.weight_bits_written += csc.nnz * cfg.weight_bits
         self.stats.index_bits_written += csc.nnz * cfg.index_bits
@@ -174,32 +180,15 @@ class SRAMSparsePE:
             raise RuntimeError("load() a weight matrix first")
         cfg = self.config
         csc = self.csc
-        pattern = csc.pattern
         activations = np.atleast_2d(np.asarray(activations))
         batch, in_dim = activations.shape
         if in_dim != csc.shape[0]:
             raise ValueError(
                 f"activation dim {in_dim} != matrix in_dim {csc.shape[0]}")
+        require_integer_activations(activations, "SRAM PE")
 
-        planes = to_bit_planes(activations, cfg.input_bits)  # (bits, batch, in)
-        out = np.zeros((batch, csc.shape[1]), dtype=np.int64)
-
-        # Per-column gather indices (original rows), computed once.
-        m = pattern.m
-        for c, col in enumerate(csc.columns):
-            rows = col.row_indices(m)
-            vals = col.values
-            if len(rows) == 0:
-                continue
-            # Step 1+2: for each bit plane, comparator-gated partial products.
-            partials = np.empty((cfg.input_bits, batch), dtype=np.int64)
-            for b in range(cfg.input_bits):
-                # All phases t of the index sweep contribute; entry (row i)
-                # fires in phase t == intra index, receiving activation bit
-                # planes[b][:, rows].  Summing over the sweep == one gather.
-                partials[b] = planes[b][:, rows] @ vals
-            # Step 3: shift accumulate (two's complement plane weights).
-            out[:, c] = from_partials(partials, cfg.input_bits)
+        out = spmm_bitserial(self._plan, activations, cfg.input_bits,
+                             impl=self.kernel)
 
         self._charge_matmul_stats(batch)
         return out
