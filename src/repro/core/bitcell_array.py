@@ -185,6 +185,6 @@ class BitLevelSparsePE:
         batch, in_dim = activations.shape
         if in_dim != self._shape[0]:
             raise ValueError("activation dim mismatch")
-        require_integer_activations(activations, "SRAM PE")
+        require_integer_activations(activations, "bit-level SRAM PE")
         return spmm_bitserial(self._plan, activations, cfg.input_bits,
                               impl=self.kernel)

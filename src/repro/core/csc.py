@@ -35,6 +35,15 @@ class CSCColumn:
     def __post_init__(self):
         if not (len(self.values) == len(self.group_ids) == len(self.intra_indices)):
             raise ValueError("CSCColumn arrays must be parallel")
+        # Same runtime guard as the kernel layer (lint rule R1's surface):
+        # a float value sneaking in here would be silently truncated by the
+        # int64 casts at decode/plan time.
+        from .kernels import require_integer_values
+        self.values = require_integer_values(self.values, "CSCColumn")
+        self.group_ids = require_integer_values(
+            self.group_ids, "CSCColumn group ids")
+        self.intra_indices = require_integer_values(
+            self.intra_indices, "CSCColumn intra indices")
 
     @property
     def nnz(self) -> int:

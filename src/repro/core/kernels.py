@@ -72,6 +72,23 @@ def require_integer_activations(activations: np.ndarray, pe_name: str) -> None:
         raise TypeError(f"{pe_name} consumes integer activations")
 
 
+def require_integer_values(values: np.ndarray, context: str) -> np.ndarray:
+    """Reject float weight/index arrays before an ``astype`` truncates them.
+
+    The runtime counterpart of lint rule R1: every array entering the
+    kernel plan must already be integer (quantize first), so the int64
+    casts inside the plan builder are always exact.  Returns the array
+    (as ``np.asarray``) for call-site convenience.
+    """
+    values = np.asarray(values)
+    # Empty arrays default to float64 without meaning it; nothing to truncate.
+    if values.size and not np.issubdtype(values.dtype, np.integer):
+        raise TypeError(
+            f"{context} stores integer values; got dtype {values.dtype} "
+            f"(quantize before encoding)")
+    return values
+
+
 @dataclasses.dataclass(frozen=True)
 class KernelPlan:
     """A CSC matrix flattened into kernel-ready arrays, built once per load.
@@ -107,9 +124,11 @@ class KernelPlan:
         nnz = int(col_ptr[-1])
         if nnz:
             row_indices = np.concatenate(
-                [np.asarray(rows, dtype=np.int64) for rows, _ in columns])
+                [require_integer_values(rows, "KernelPlan row indices")
+                 .astype(np.int64) for rows, _ in columns])
             values = np.concatenate(
-                [np.asarray(vals, dtype=np.int64) for _, vals in columns])
+                [require_integer_values(vals, "KernelPlan values")
+                 .astype(np.int64) for _, vals in columns])
         else:
             row_indices = np.zeros(0, dtype=np.int64)
             values = np.zeros(0, dtype=np.int64)

@@ -108,7 +108,8 @@ class MRAMSparsePE:
         self.csc = csc
         self._plan = KernelPlan.from_csc(csc)
         self._dense_cache = self._plan.decode()
-        self._rows_used = int(np.ceil(csc.nnz / cfg.pairs_per_row)) if csc.nnz else 0
+        # Integer ceil-div: rows = ceil(nnz / pairs_per_row), float-free.
+        self._rows_used = -(-csc.nnz // cfg.pairs_per_row)
 
         self.stats.weight_bits_written += csc.nnz * cfg.weight_bits
         self.stats.index_bits_written += csc.nnz * cfg.index_bits
@@ -124,7 +125,8 @@ class MRAMSparsePE:
     def occupancy(self) -> float:
         if self.csc is None:
             return 0.0
-        return self.csc.nnz / self.config.pair_capacity
+        # A utilization *ratio* is float by design, not datapath arithmetic.
+        return self.csc.nnz / self.config.pair_capacity  # repro-lint: disable-line=R1
 
     # ---------------------------------------------------------------- matmul
     def matmul(self, activations: np.ndarray) -> np.ndarray:
@@ -202,7 +204,7 @@ class MRAMDensePE:
                 f"matrix with {matrix.size} weights exceeds capacity "
                 f"{self.weight_capacity}")
         self.weight = matrix.astype(np.int64)
-        self._rows_used = int(np.ceil(matrix.size / self.weights_per_row))
+        self._rows_used = -(-matrix.size // self.weights_per_row)
         self.stats.weight_bits_written += matrix.size * self.config.weight_bits
 
     def matmul(self, activations: np.ndarray) -> np.ndarray:

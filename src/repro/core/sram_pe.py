@@ -163,7 +163,8 @@ class SRAMSparsePE:
         """Fraction of (weight, index) pairs in use."""
         if self.csc is None:
             return 0.0
-        return self.csc.nnz / self.config.pair_capacity
+        # A utilization *ratio* is float by design, not datapath arithmetic.
+        return self.csc.nnz / self.config.pair_capacity  # repro-lint: disable-line=R1
 
     # ---------------------------------------------------------------- matmul
     def matmul(self, activations: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ import dataclasses
 from typing import Dict
 
 from .tech import DEFAULT_TECH, TechnologyModel
+from .units import MM2_PER_UM2
 
 #: Effective macro density of the all-digital SRAM CIM baseline,
 #: µm²/bit including periphery (anchored to [29]-class macros).
@@ -60,12 +61,13 @@ class AreaModel:
     def dense_macro_mm2(self, bits: float, kind: str) -> float:
         """Macro-scale storage area (periphery included) for a dense design."""
         if kind == "sram":
-            return bits * SRAM_MACRO_UM2_PER_BIT * 1e-6
+            return bits * SRAM_MACRO_UM2_PER_BIT * MM2_PER_UM2
         if kind == "mram":
-            return bits * MRAM_MACRO_UM2_PER_BIT * 1e-6
+            return bits * MRAM_MACRO_UM2_PER_BIT * MM2_PER_UM2
         raise ValueError(f"unknown memory kind {kind!r}")
 
     def dense_design_area(self, model_bits: float, kind: str) -> AreaReport:
+        """Per-component mm² breakdown of a dense (baseline) design."""
         gb = self.tech.global_blocks
         storage = self.dense_macro_mm2(model_bits, kind)
         control = storage * gb.control_overhead_fraction
@@ -79,12 +81,14 @@ class AreaModel:
     def hybrid_design_area(self, backbone_compressed_bits: float,
                            n_sram_pes: int,
                            sram_storage_bits: float = 0.0) -> AreaReport:
-        """The hybrid: MRAM sparse storage + Rep-Net SRAM storage + a fixed
-        set of Table 2 SRAM sparse compute PEs."""
+        """The hybrid's mm² breakdown: MRAM sparse storage + Rep-Net SRAM
+        storage + a fixed set of Table 2 SRAM sparse compute PEs."""
         gb = self.tech.global_blocks
-        mram_storage = backbone_compressed_bits * MRAM_MACRO_UM2_PER_BIT * 1e-6
+        mram_storage = (backbone_compressed_bits * MRAM_MACRO_UM2_PER_BIT
+                        * MM2_PER_UM2)
         mram_periphery = mram_storage * MRAM_SPARSE_PERIPHERY_FACTOR
-        sram_storage = sram_storage_bits * SRAM_MACRO_UM2_PER_BIT * 1e-6
+        sram_storage = (sram_storage_bits * SRAM_MACRO_UM2_PER_BIT
+                        * MM2_PER_UM2)
         sram_pes = n_sram_pes * self.tech.sram.total_area
         control = (mram_storage + mram_periphery + sram_storage + sram_pes) \
             * gb.control_overhead_fraction

@@ -154,7 +154,7 @@ class CostModel:
     # ------------------------------------------- functional-sim integration
     def pe_stats_energy(self, stats: PEStats, kind: str,
                         sparse: bool = True) -> EnergyBreakdown:
-        """Energy of a functional PE simulator run from its event counters."""
+        """Energy breakdown (pJ) of a functional PE run's event counters."""
         compute = self.mac_energy_pj(stats.macs, kind, sparse=sparse)
         if kind == "mram":
             compute += stats.adder_tree_ops * self.e_row_read_mram_pj

@@ -18,6 +18,8 @@ from typing import Tuple
 
 import numpy as np
 
+from .units import A_PER_UA, PJ_PER_J, S_PER_NS, UA_PER_A
+
 # Boltzmann constant (J/K)
 K_B = 1.380649e-23
 
@@ -68,19 +70,19 @@ class MTJ:
 
     def read_current_ua(self, read_voltage_v: float = 0.1) -> float:
         """Sense current at a (disturb-safe) read voltage."""
-        return read_voltage_v / self.resistance_ohm * 1e6
+        return read_voltage_v / self.resistance_ohm * UA_PER_A
 
     def sense_margin_ua(self, read_voltage_v: float = 0.1) -> float:
         """Current difference between the two states the SA must resolve."""
         p = self.params
-        i_p = read_voltage_v / p.resistance_p_ohm * 1e6
-        i_ap = read_voltage_v / p.resistance_ap_ohm * 1e6
+        i_p = read_voltage_v / p.resistance_p_ohm * UA_PER_A
+        i_ap = read_voltage_v / p.resistance_ap_ohm * UA_PER_A
         return i_p - i_ap
 
     # ----------------------------------------------------------------- write
     def write_current_ua(self) -> float:
         """Current delivered by the write driver into the present state."""
-        return self.params.write_voltage_v / self.resistance_ohm * 1e6
+        return self.params.write_voltage_v / self.resistance_ohm * UA_PER_A
 
     def switching_probability(self, current_ua: float,
                               pulse_ns: float) -> float:
@@ -130,13 +132,14 @@ class MTJ:
         """Energy of one write pulse: V * I * t."""
         current = self.write_current_ua() if current_ua is None else current_ua
         pulse = self.params.write_pulse_ns if pulse_ns is None else pulse_ns
-        return self.params.write_voltage_v * current * 1e-6 * pulse * 1e-9 * 1e12
+        return (self.params.write_voltage_v * current * A_PER_UA
+                * pulse * S_PER_NS * PJ_PER_J)
 
     # ------------------------------------------------------------- retention
     def retention_years(self) -> float:
         """Expected thermal retention (tau_0 * exp(Delta))."""
         p = self.params
-        seconds = p.attempt_time_ns * 1e-9 * math.exp(p.thermal_stability)
+        seconds = p.attempt_time_ns * S_PER_NS * math.exp(p.thermal_stability)
         return seconds / (365.25 * 24 * 3600)
 
 

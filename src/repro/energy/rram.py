@@ -33,6 +33,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .tech import GlobalSpec, MRAMPESpec, SRAMPESpec, TechnologyModel
+from .units import PJ_PER_J, S_PER_NS, UA_PER_A
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,7 +84,7 @@ class RRAMCell:
         return self.write_count >= self.params.endurance_cycles
 
     def read_current_ua(self) -> float:
-        return self.params.read_voltage_v / self.resistance_ohm * 1e6
+        return self.params.read_voltage_v / self.resistance_ohm * UA_PER_A
 
     def write(self, target_state: int,
               rng: Optional[np.random.Generator] = None) -> bool:
@@ -114,7 +115,7 @@ class RRAMCell:
             v, r = p.set_voltage_v, p.resistance_hrs_ohm
         else:                              # RESET: LRS -> HRS
             v, r = p.reset_voltage_v, p.resistance_lrs_ohm
-        return v * v / r * p.write_pulse_ns * 1e-9 * 1e12
+        return v * v / r * p.write_pulse_ns * S_PER_NS * PJ_PER_J
 
 
 def rram_pe_spec(params: RRAMParams = RRAMParams()) -> MRAMPESpec:

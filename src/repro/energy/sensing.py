@@ -21,6 +21,7 @@ from typing import Dict
 from scipy.stats import norm
 
 from .mtj import MTJParams
+from .units import UA_PER_A
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,8 +40,8 @@ class SenseConfig:
 def state_currents_ua(params: MTJParams = MTJParams(),
                       config: SenseConfig = SenseConfig()) -> Dict[str, float]:
     """Mean read currents of the P and AP states and the midpoint reference."""
-    i_p = config.read_voltage_v / params.resistance_p_ohm * 1e6
-    i_ap = config.read_voltage_v / params.resistance_ap_ohm * 1e6
+    i_p = config.read_voltage_v / params.resistance_p_ohm * UA_PER_A
+    i_ap = config.read_voltage_v / params.resistance_ap_ohm * UA_PER_A
     return {"i_p_ua": i_p, "i_ap_ua": i_ap, "i_ref_ua": (i_p + i_ap) / 2.0}
 
 
@@ -56,7 +57,7 @@ def read_bit_error_rate(params: MTJParams = MTJParams(),
     i_ref = cur["i_ref_ua"]
 
     def miss(mean_r: float) -> float:
-        i_mean = config.read_voltage_v / mean_r * 1e6
+        i_mean = config.read_voltage_v / mean_r * UA_PER_A
         # first-order: dI/I = -dR/R -> sigma_I = sigma_rel * I
         sigma_i = math.sqrt((config.resistance_sigma * i_mean) ** 2
                             + config.sense_offset_ua ** 2)

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from .units import PJ_PER_J, W_PER_MW
+
 #: System clock for the digital logic.  ASSUMPTION: 28 nm digital PIM macros
 #: ([29], [14]) run 0.2-1 GHz; we use 500 MHz throughout.
 CLOCK_HZ: float = 500e6
@@ -124,6 +126,7 @@ class MRAMPESpec:
 
     @property
     def total_area(self) -> float:
+        """mm^2 of one PE (sum of Table 2 components)."""
         return (self.array_area + self.shift_acc_area + self.col_decoder_area
                 + self.row_decoder_area + self.adder_tree_area)
 
@@ -174,8 +177,8 @@ class TechnologyModel:
         return 1.0 / self.clock_hz
 
     def mw_to_pj_per_cycle(self, mw: float) -> float:
-        """Convert an active-power figure to energy per busy cycle."""
-        return mw * 1e-3 / self.clock_hz * 1e12
+        """Convert an active-power figure (mW) to energy (pJ) per busy cycle."""
+        return mw * W_PER_MW / self.clock_hz * PJ_PER_J
 
 
 DEFAULT_TECH = TechnologyModel()

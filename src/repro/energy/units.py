@@ -1,0 +1,31 @@
+"""Named unit-conversion constants for the energy/cost models.
+
+House units (see docs/METHODOLOGY.md): energy in **pJ**, time in **ns** or
+cycles, power in **mW**, current in **µA**, voltage in **V**, area in
+**mm²**.  Device physics is naturally expressed in SI, so conversions are
+unavoidable — but a bare ``1e-9`` inline is exactly the silent-magnitude
+bug class the R2 lint rule exists to catch.  Every conversion therefore
+goes through a constant defined (and named) here; the linter treats this
+module, like :mod:`repro.energy.tech`, as the sanctioned home of magnitude
+literals.
+"""
+
+from __future__ import annotations
+
+#: Picojoules per joule (J → pJ).
+PJ_PER_J: float = 1e12
+
+#: Seconds per nanosecond (ns → s).
+S_PER_NS: float = 1e-9
+
+#: Microamps per amp (A → µA).
+UA_PER_A: float = 1e6
+
+#: Amps per microamp (µA → A).
+A_PER_UA: float = 1e-6
+
+#: Watts per milliwatt (mW → W).
+W_PER_MW: float = 1e-3
+
+#: Square millimetres per square micrometre (µm² → mm²).
+MM2_PER_UM2: float = 1e-6

@@ -1,0 +1,26 @@
+"""repro.lint — AST invariant linter for the simulator's house rules.
+
+Generic linters cannot know that the PE datapaths are integer-only, that
+every energy figure is picojoules, that :class:`~repro.core.stats.PEStats`
+counters must merge rather than be overwritten, that library randomness must
+flow through seeded ``np.random.Generator`` parameters, or that every
+kernel ships a ``reference`` and a ``fast`` implementation covered by the
+differential suite.  This package encodes those invariants as five rule
+families (R1–R5) over a small visitor engine, wired into CI via
+``python -m repro.lint src/repro``.
+
+See docs/METHODOLOGY.md §8 for the rule catalogue and suppression syntax.
+"""
+
+from .engine import (FileContext, LintResult, ProjectContext, Suppressions,
+                     lint_paths, lint_source, lint_sources)
+from .findings import SEVERITIES, Finding
+from .registry import Rule, all_rules, get_rule, register
+from .reporters import REPORTERS, json_report, text_report
+
+__all__ = [
+    "FileContext", "Finding", "LintResult", "ProjectContext", "REPORTERS",
+    "Rule", "SEVERITIES", "Suppressions", "all_rules", "get_rule",
+    "json_report", "lint_paths", "lint_source", "lint_sources", "register",
+    "text_report",
+]

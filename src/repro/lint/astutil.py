@@ -1,0 +1,132 @@
+"""Shared AST helpers for the rule implementations.
+
+The rules care about a handful of recurring questions — "is this expression
+``np.<something>``?", "which names in this module are bound to numpy?",
+"what function am I inside?" — answered here once so each rule stays a
+short, readable visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+
+def numpy_aliases(tree: ast.AST) -> Set[str]:
+    """Names bound to the ``numpy`` module itself (``import numpy as np``)."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    out.add(alias.asname or "numpy")
+    return out
+
+
+def numpy_random_aliases(tree: ast.AST) -> Set[str]:
+    """Names bound to the ``numpy.random`` module.
+
+    Covers ``import numpy.random as nr`` and ``from numpy import random``.
+    """
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy.random" and alias.asname:
+                    out.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "random":
+                        out.add(alias.asname or "random")
+    return out
+
+
+def names_imported_from(tree: ast.AST, module: str) -> Set[str]:
+    """Local names introduced by ``from <module> import x [as y]``."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == module and node.level == 0:
+                for alias in node.names:
+                    out.add(alias.asname or alias.name)
+    return out
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, or None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_keyword(node: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword argument ``name`` on a call, if present."""
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def walk_with_function_stack(tree: ast.AST
+                             ) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Yield ``(node, enclosing_function_names)`` over the whole tree.
+
+    The stack is the chain of ``FunctionDef``/``AsyncFunctionDef`` names the
+    node sits inside, outermost first — what R3 needs to recognise the
+    designated ``_charge_*`` methods.
+    """
+
+    def visit(node: ast.AST, stack: Tuple[str, ...]):
+        yield node, stack
+        child_stack = stack
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            child_stack = stack + (node.name,)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, child_stack)
+
+    yield from visit(tree, ())
+
+
+def module_constant_nodes(tree: ast.Module) -> Set[int]:
+    """ids of AST nodes inside named-constant definitions.
+
+    Numeric literals are exempt from the magnitude check (R2) when they form
+    part of a *named* constant — an UPPER_CASE module-level assignment or a
+    class-level annotated default (dataclass field) — because the name plus
+    its comment/docstring is exactly the declaration the rule wants.
+    """
+    allowed: Set[int] = set()
+
+    def mark(node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            allowed.add(id(sub))
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            if all(isinstance(t, ast.Name) and t.id.isupper()
+                   for t in targets):
+                mark(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and stmt.target.id.isupper():
+                mark(stmt.value)
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                    mark(sub.value)
+                elif isinstance(sub, ast.Assign):
+                    mark(sub.value)
+    return allowed
+
+
+def is_numeric_constant(node: ast.AST) -> bool:
+    """True for int/float literals (bools excluded)."""
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))

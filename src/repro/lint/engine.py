@@ -1,0 +1,209 @@
+"""Lint engine: file discovery, parsing, suppression handling, rule driving.
+
+The engine walks the requested paths, parses each ``.py`` file once into a
+:class:`FileContext` (source + AST + suppression tables), runs every
+file-scoped rule whose ``applies_to`` matches, then runs the project-scoped
+rules over the whole :class:`ProjectContext`.  Findings that a suppression
+comment covers are dropped before reporting.
+
+Suppression syntax (documented in docs/METHODOLOGY.md):
+
+``# repro-lint: disable=R1,R3``
+    Anywhere in a file, on its own line or trailing code: disables those
+    rule codes for the *entire file*.  ``disable=all`` disables every rule.
+
+``# repro-lint: disable-line=R1``
+    Trailing a statement: disables the codes for that line only — the
+    surgical form used when a single expression is deliberately exempt
+    (e.g. an occupancy ratio that is a float on purpose).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .registry import Rule, all_rules
+
+#: Matches one suppression pragma; multiple pragmas per line are honoured.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-line)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)(?=\s*(?:#|$))")
+
+#: The wildcard accepted in a suppression code list.
+SUPPRESS_ALL = "all"
+
+
+@dataclasses.dataclass
+class Suppressions:
+    """Parsed suppression pragmas of one file."""
+
+    file_codes: Set[str] = dataclasses.field(default_factory=set)
+    line_codes: Dict[int, Set[str]] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        supp = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "repro-lint" not in text:
+                continue
+            for match in _PRAGMA_RE.finditer(text):
+                codes = {c.strip() for c in match.group("codes").split(",")}
+                codes.discard("")
+                if match.group("kind") == "disable":
+                    supp.file_codes |= codes
+                else:
+                    supp.line_codes.setdefault(lineno, set()).update(codes)
+        return supp
+
+    def covers(self, finding: Finding) -> bool:
+        if SUPPRESS_ALL in self.file_codes or finding.code in self.file_codes:
+            return True
+        line = self.line_codes.get(finding.line, ())
+        return SUPPRESS_ALL in line or finding.code in line
+
+
+@dataclasses.dataclass
+class FileContext:
+    """One parsed source file, as handed to file-scoped rules."""
+
+    path: str                 # as reported in findings (posix separators)
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    real_path: Optional[Path] = None   # on-disk location, if any
+
+    @classmethod
+    def from_source(cls, source: str, path: str,
+                    real_path: Optional[Path] = None) -> "FileContext":
+        return cls(path=str(path).replace("\\", "/"), source=source,
+                   tree=ast.parse(source),
+                   suppressions=Suppressions.from_source(source),
+                   real_path=real_path)
+
+
+@dataclasses.dataclass
+class ProjectContext:
+    """The whole linted file set, as handed to project-scoped rules."""
+
+    files: List[FileContext]
+
+    def find(self, suffix: str) -> Optional[FileContext]:
+        """The linted file whose path ends with ``suffix`` (posix match)."""
+        for ctx in self.files:
+            if ctx.path == suffix or ctx.path.endswith("/" + suffix):
+                return ctx
+        return None
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Engine output: surviving findings plus bookkeeping for reports."""
+
+    findings: List[Finding]
+    files_checked: int
+    parse_errors: List[Finding] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.all_findings():
+            out[f.severity] = out.get(f.severity, 0) + 1
+        return out
+
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.parse_errors + self.findings,
+                      key=lambda f: f.sort_key)
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+    return out
+
+
+def _run_rules(contexts: List[FileContext],
+               rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    by_path = {ctx.path: ctx for ctx in contexts}
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if r.scope == "project"]
+
+    for ctx in contexts:
+        for rule in file_rules:
+            if rule.applies_to(ctx.path):
+                findings.extend(rule.check_file(ctx))
+    project = ProjectContext(files=contexts)
+    for rule in project_rules:
+        findings.extend(rule.check_project(project))
+
+    kept = []
+    for f in findings:
+        ctx = by_path.get(f.path)
+        if ctx is not None and ctx.suppressions.covers(f):
+            continue
+        kept.append(f)
+    return sorted(kept, key=lambda f: f.sort_key)
+
+
+def lint_paths(paths: Sequence[str],
+               codes: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint files/directories on disk; the CLI's entry point."""
+    rules = all_rules(codes)
+    contexts: List[FileContext] = []
+    parse_errors: List[Finding] = []
+    for path in discover_files(paths):
+        text = path.read_text(encoding="utf-8")
+        posix = path.as_posix()
+        try:
+            contexts.append(FileContext.from_source(text, posix,
+                                                    real_path=path))
+        except SyntaxError as exc:
+            parse_errors.append(Finding(
+                code="E0", rule="parse", severity="error", path=posix,
+                line=exc.lineno or 1, col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}"))
+    findings = _run_rules(contexts, rules)
+    return LintResult(findings=findings, files_checked=len(contexts),
+                      parse_errors=parse_errors)
+
+
+def lint_sources(sources: Dict[str, str],
+                 codes: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint in-memory ``{path: source}`` pairs — the test fixtures' door.
+
+    Paths are virtual but flow through ``applies_to`` exactly like real
+    ones, so a fixture named ``src/repro/core/kernels.py`` exercises the
+    same rule routing as the real module.
+    """
+    rules = all_rules(codes)
+    contexts = [FileContext.from_source(src, path)
+                for path, src in sources.items()]
+    findings = _run_rules(contexts, rules)
+    return LintResult(findings=findings, files_checked=len(contexts))
+
+
+def lint_source(source: str, path: str,
+                codes: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one in-memory file; returns the findings list directly."""
+    return lint_sources({path: source}, codes).findings

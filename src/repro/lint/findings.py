@@ -1,0 +1,45 @@
+"""The unit of linter output: one :class:`Finding` per rule violation.
+
+A finding pins a rule code to a ``path:line:col`` location with a
+human-readable message.  Findings are plain frozen dataclasses so reporters
+can sort, group and serialize them without touching the rules that produced
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+#: Recognised severities, in increasing order of gravity.
+SEVERITIES = ("warning", "error")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str         # rule code, e.g. "R1"
+    rule: str         # rule name, e.g. "dtype-discipline"
+    severity: str     # one of SEVERITIES
+    path: str         # file the violation lives in (as given to the engine)
+    line: int         # 1-based line number
+    col: int          # 0-based column offset
+    message: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity {self.severity!r} not in {SEVERITIES}")
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def format(self) -> str:
+        """The canonical one-line report: ``path:line:col: CODE message``."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} [{self.rule}/{self.severity}] {self.message}")
+
+    def as_dict(self) -> Dict:
+        return dataclasses.asdict(self)

@@ -1,0 +1,41 @@
+"""Render a :class:`~repro.lint.engine.LintResult` for humans or machines."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+
+def text_report(result: LintResult) -> str:
+    """One ``path:line:col: CODE message`` line per finding + a summary."""
+    lines = [f.format() for f in result.all_findings()]
+    counts = result.counts()
+    errors = counts.get("error", 0)
+    warnings = counts.get("warning", 0)
+    total = errors + warnings
+    if total:
+        lines.append(
+            f"{total} finding{'s' if total != 1 else ''} "
+            f"({errors} error{'s' if errors != 1 else ''}, "
+            f"{warnings} warning{'s' if warnings != 1 else ''}) "
+            f"in {result.files_checked} files")
+    else:
+        lines.append(f"clean: {result.files_checked} files, 0 findings")
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult) -> str:
+    """Machine-readable report (stable keys; consumed by CI tooling)."""
+    return json.dumps({
+        "files_checked": result.files_checked,
+        "counts": result.counts(),
+        "ok": result.ok,
+        "findings": [f.as_dict() for f in result.all_findings()],
+    }, indent=2, sort_keys=True)
+
+
+REPORTERS = {
+    "text": text_report,
+    "json": json_report,
+}

@@ -1,0 +1,5 @@
+"""Built-in rule families R1–R5; importing this package registers them."""
+
+from . import determinism, dtype, parity, stats, units
+
+__all__ = ["determinism", "dtype", "parity", "stats", "units"]

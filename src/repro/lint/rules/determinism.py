@@ -1,0 +1,81 @@
+"""R4 — determinism: library randomness flows through seeded Generators.
+
+Table 1 / Fig. 7 runs must be bit-reproducible: every stochastic choice in
+``src/repro`` draws from a ``np.random.Generator`` that was *given* a seed
+(explicit argument, module constant, or caller-supplied parameter).  R4
+flags the two leaks that break that chain:
+
+* legacy module-level randomness — ``np.random.rand/seed/normal/...`` —
+  which mutates hidden global state shared across the process, and
+* ``np.random.default_rng()`` with *no* arguments, which silently pulls OS
+  entropy and makes the run unrepeatable.
+
+Constructing Generators/BitGenerators with an explicit seed
+(``default_rng(0)``, ``PCG64(seed)``) is the sanctioned pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import (dotted_name, names_imported_from, numpy_aliases,
+                       numpy_random_aliases)
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: ``numpy.random`` members that are fine to *call* (seed flows in).
+ALLOWED_RANDOM_CALLS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "PCG64", "PCG64DXSM",
+    "Philox", "MT19937", "SFC64",
+})
+
+
+@register
+class DeterminismRule(Rule):
+    code = "R4"
+    name = "determinism"
+    severity = "error"
+    scope = "file"
+    description = ("no legacy np.random.<fn> global-state calls and no "
+                   "argless default_rng() in library code")
+
+    def check_file(self, ctx) -> Iterator[Finding]:
+        np_names = numpy_aliases(ctx.tree)
+        random_names = numpy_random_aliases(ctx.tree)
+        direct = names_imported_from(ctx.tree, "numpy.random")
+
+        def random_member(func: ast.expr) -> Optional[str]:
+            """The ``numpy.random`` member a call resolves to, if any."""
+            if isinstance(func, ast.Name):
+                return func.id if func.id in direct else None
+            dn = dotted_name(func)
+            if dn is None:
+                return None
+            head, _, attr = dn.rpartition(".")
+            if head in random_names:
+                return attr
+            head2, _, mid = head.rpartition(".")
+            if mid == "random" and (head2 in np_names):
+                return attr
+            return None
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            member = random_member(node.func)
+            if member is None:
+                continue
+            if member not in ALLOWED_RANDOM_CALLS:
+                yield self.finding(
+                    ctx.path, node.lineno, node.col_offset,
+                    f"legacy `np.random.{member}(...)` uses hidden global "
+                    f"RNG state — accept a seeded np.random.Generator "
+                    f"parameter instead")
+            elif member == "default_rng" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    ctx.path, node.lineno, node.col_offset,
+                    "argless `default_rng()` pulls OS entropy — pass an "
+                    "explicit seed (or thread a Generator parameter "
+                    "through)")

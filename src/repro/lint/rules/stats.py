@@ -1,0 +1,79 @@
+"""R3 — stats discipline: PEStats counters merge, they are never overwritten.
+
+The hardware numbers reported by the harness are *sums of analytically
+charged events* — every simulator adds into its
+:class:`~repro.core.stats.PEStats` block with ``+=`` (or ``merge``), so a
+kernel swap or a re-run can never silently lose previously charged traffic.
+A plain ``stats.counter = value`` assignment breaks that accumulation
+contract; R3 makes it an error everywhere except the stats module itself
+and the PE classes' designated ``_charge_*`` methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: The module that owns the counter dataclass and may do as it pleases.
+STATS_HOME = "repro/core/stats.py"
+
+
+def _stats_counter_target(node: ast.expr) -> bool:
+    """True for targets of the shape ``<x>.stats.<counter>`` / ``stats.<c>``."""
+    if not isinstance(node, ast.Attribute):
+        return False
+    base = node.value
+    if isinstance(base, ast.Attribute) and base.attr == "stats":
+        return True
+    if isinstance(base, ast.Name) and base.id == "stats":
+        return True
+    return False
+
+
+def _iter_targets(node: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            yield from _iter_targets(elt)
+    else:
+        yield node
+
+
+@register
+class StatsDisciplineRule(Rule):
+    code = "R3"
+    name = "stats-discipline"
+    severity = "error"
+    scope = "file"
+    description = ("PEStats counters are charged with += / merge(); plain "
+                   "assignment outside stats.py and _charge_* methods is "
+                   "an error")
+
+    def applies_to(self, path: str) -> bool:
+        return not (path == STATS_HOME or path.endswith("/" + STATS_HOME))
+
+    def check_file(self, ctx) -> Iterator[Finding]:
+        from ..astutil import walk_with_function_stack
+
+        for node, fn_stack in walk_with_function_stack(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            if any(name.startswith("_charge") for name in fn_stack):
+                continue  # the designated charging methods may (re)set
+            targets: Tuple[ast.expr, ...]
+            if isinstance(node, ast.Assign):
+                targets = tuple(t for tgt in node.targets
+                                for t in _iter_targets(tgt))
+            else:
+                targets = tuple(_iter_targets(node.target))
+            for target in targets:
+                if _stats_counter_target(target):
+                    yield self.finding(
+                        ctx.path, target.lineno, target.col_offset,
+                        f"direct assignment to stats counter "
+                        f"`{ast.unparse(target)}` overwrites charged "
+                        f"events — accumulate with `+=` or "
+                        f"`PEStats.merge` (or move into a _charge_* "
+                        f"method)")

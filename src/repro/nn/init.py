@@ -16,6 +16,14 @@ import numpy as np
 
 from .modules import Conv2d, Linear, Module, Parameter
 
+#: Seed of the fallback Generator every initializer builds when called
+#: without an explicit ``rng``.  The fallback exists so ad-hoc scripts get
+#: reproducible weights by default; note it is constructed *fresh per
+#: call*, so two bare calls to the same initializer produce identical
+#: draws.  Experiments that need independent streams must pass their own
+#: seeded ``np.random.Generator`` (the harness configs all do).
+DEFAULT_INIT_SEED: int = 0
+
 
 def _fan_in_out(param: Parameter) -> Tuple[int, int]:
     shape = param.shape
@@ -30,7 +38,7 @@ def _fan_in_out(param: Parameter) -> Tuple[int, int]:
 def kaiming_uniform_(param: Parameter,
                      rng: Optional[np.random.Generator] = None) -> None:
     """He/Kaiming uniform: U(-sqrt(6/fan_in), +sqrt(6/fan_in))."""
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
     fan_in, _ = _fan_in_out(param)
     bound = math.sqrt(6.0 / fan_in)
     param.data = rng.uniform(-bound, bound, size=param.shape).astype(
@@ -40,7 +48,7 @@ def kaiming_uniform_(param: Parameter,
 def kaiming_normal_(param: Parameter,
                     rng: Optional[np.random.Generator] = None) -> None:
     """He/Kaiming normal: N(0, 2/fan_in)."""
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
     fan_in, _ = _fan_in_out(param)
     std = math.sqrt(2.0 / fan_in)
     param.data = (rng.standard_normal(param.shape) * std).astype(param.dtype)
@@ -49,7 +57,7 @@ def kaiming_normal_(param: Parameter,
 def xavier_uniform_(param: Parameter,
                     rng: Optional[np.random.Generator] = None) -> None:
     """Glorot uniform: U(+-sqrt(6/(fan_in+fan_out)))."""
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
     fan_in, fan_out = _fan_in_out(param)
     bound = math.sqrt(6.0 / (fan_in + fan_out))
     param.data = rng.uniform(-bound, bound, size=param.shape).astype(
@@ -59,7 +67,7 @@ def xavier_uniform_(param: Parameter,
 def xavier_normal_(param: Parameter,
                    rng: Optional[np.random.Generator] = None) -> None:
     """Glorot normal: N(0, 2/(fan_in+fan_out))."""
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
     fan_in, fan_out = _fan_in_out(param)
     std = math.sqrt(2.0 / (fan_in + fan_out))
     param.data = (rng.standard_normal(param.shape) * std).astype(param.dtype)
@@ -69,7 +77,7 @@ def orthogonal_(param: Parameter,
                 rng: Optional[np.random.Generator] = None,
                 gain: float = 1.0) -> None:
     """Orthogonal init (QR of a Gaussian matrix), gain-scaled."""
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
     shape = param.shape
     flat = (shape[0], int(np.prod(shape[1:])))
     a = rng.standard_normal(flat)
@@ -109,7 +117,7 @@ def init_model(model: Module, strategy: str = "kaiming_uniform",
     if strategy not in fns:
         raise ValueError(f"unknown strategy {strategy!r}; "
                          f"choose from {sorted(fns)}")
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
     fn = fns[strategy]
     for _, mod in model.named_modules():
         if isinstance(mod, (Linear, Conv2d)):

@@ -494,9 +494,17 @@ def ones(shape, requires_grad: bool = False) -> Tensor:
     return Tensor(np.ones(shape), requires_grad=requires_grad)
 
 
+#: Seed of the fallback Generator :func:`randn` builds when no ``rng`` is
+#: passed.  Library code must be reproducible by default (R4): an unseeded
+#: Generator would make every bare ``randn`` call unrepeatable.  Note the
+#: fallback is *fresh per call* — two bare calls return identical tensors;
+#: pass an ``rng`` to draw a stream.
+RANDN_FALLBACK_SEED: int = 0
+
+
 def randn(*shape, rng: Optional[np.random.Generator] = None,
           requires_grad: bool = False) -> Tensor:
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(RANDN_FALLBACK_SEED)
     return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
 
 

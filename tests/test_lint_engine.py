@@ -1,0 +1,170 @@
+"""Engine-level tests for repro.lint: suppressions, registry, reporters, CLI.
+
+The rule-specific positive/negative fixtures live in test_lint_rules.py;
+this file covers the machinery those rules run on — pragma parsing, rule
+selection, report rendering, exit codes and file discovery.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (Finding, Suppressions, all_rules, get_rule,
+                        json_report, lint_source, lint_sources, lint_paths,
+                        text_report)
+from repro.lint.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.lint.engine import discover_files
+
+# Any path under src/repro triggers R4 on a legacy np.random call — the
+# cheapest "known violation" for exercising the engine around a rule.
+R4_BAD = "import numpy as np\n\nx = np.random.rand(3)\n"
+R4_PATH = "src/repro/harness/sweep.py"
+
+
+class TestSuppressions:
+    def test_file_wide_disable(self):
+        src = "# repro-lint: disable=R4\n" + R4_BAD
+        assert lint_source(src, R4_PATH) == []
+
+    def test_file_wide_disable_is_per_code(self):
+        src = "# repro-lint: disable=R1,R3\n" + R4_BAD
+        findings = lint_source(src, R4_PATH)
+        assert [f.code for f in findings] == ["R4"]
+
+    def test_disable_all_wildcard(self):
+        src = "# repro-lint: disable=all\n" + R4_BAD
+        assert lint_source(src, R4_PATH) == []
+
+    def test_line_scoped_disable_covers_only_its_line(self):
+        src = ("import numpy as np\n"
+               "a = np.random.rand(2)  # repro-lint: disable-line=R4\n"
+               "b = np.random.rand(2)\n")
+        findings = lint_source(src, R4_PATH)
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_pragma_parsing(self):
+        supp = Suppressions.from_source(
+            "# repro-lint: disable=R1, R2\n"
+            "x = 1  # repro-lint: disable-line=R3  # a ratio on purpose\n")
+        assert supp.file_codes == {"R1", "R2"}
+        assert supp.line_codes == {2: {"R3"}}
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        rules = all_rules()
+        assert [r.code for r in rules] == ["R1", "R2", "R3", "R4", "R5"]
+        by_code = {r.code: r for r in rules}
+        assert by_code["R2"].severity == "warning"
+        assert {by_code[c].severity for c in ("R1", "R3", "R4", "R5")} \
+            == {"error"}
+        assert by_code["R5"].scope == "project"
+        assert all(by_code[c].scope == "file"
+                   for c in ("R1", "R2", "R3", "R4"))
+
+    def test_code_filtering(self):
+        assert [r.code for r in all_rules(["R4"])] == ["R4"]
+        assert get_rule("R1").name == "dtype-discipline"
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            all_rules(["R9"])
+
+    def test_filtered_run_skips_other_rules(self):
+        result = lint_sources({R4_PATH: R4_BAD}, codes=["R1"])
+        assert result.ok
+
+
+class TestReporters:
+    def _dirty(self):
+        return lint_sources({R4_PATH: R4_BAD})
+
+    def test_finding_format_line(self):
+        f = self._dirty().findings[0]
+        assert f.format().startswith(f"{R4_PATH}:3:4: R4 [determinism/error]")
+
+    def test_text_report_summary(self):
+        report = text_report(self._dirty())
+        assert "1 finding (1 error, 0 warnings) in 1 files" in report
+        assert R4_PATH + ":3" in report
+
+    def test_text_report_clean(self):
+        report = text_report(lint_sources({"src/repro/ok.py": "x = 1\n"}))
+        assert report == "clean: 1 files, 0 findings"
+
+    def test_json_report_round_trips(self):
+        payload = json.loads(json_report(self._dirty()))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"error": 1}
+        (finding,) = payload["findings"]
+        assert finding["code"] == "R4"
+        assert finding["path"] == R4_PATH
+
+    def test_finding_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Finding(code="R1", rule="x", severity="fatal", path="p",
+                    line=1, col=0, message="m")
+
+
+class TestDiscoveryAndParseErrors:
+    def test_discover_files_dedups_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "a.py").write_text("y = 2\n")
+        files = discover_files([str(tmp_path), str(tmp_path / "b.py")])
+        assert [p.name for p in files] == ["b.py", "a.py"]
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = lint_paths([str(bad)])
+        assert not result.ok
+        assert result.findings == []
+        assert [f.code for f in result.parse_errors] == ["E0"]
+        assert "syntax error" in result.parse_errors[0].message
+
+
+class TestCLI:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        p = tmp_path / "clean.py"
+        p.write_text("x = 1\n")
+        assert main([str(p)]) == EXIT_CLEAN
+        assert "clean: 1 files" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_readable_report(self, tmp_path,
+                                                      capsys):
+        p = tmp_path / "src" / "repro" / "harness"
+        p.mkdir(parents=True)
+        bad = p / "sweep.py"
+        bad.write_text(R4_BAD)
+        assert main([str(bad)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "R4" in out and ":3:" in out and "np.random" in out
+
+    def test_rules_filter(self, tmp_path, capsys):
+        p = tmp_path / "src" / "repro" / "harness"
+        p.mkdir(parents=True)
+        bad = p / "sweep.py"
+        bad.write_text(R4_BAD)
+        assert main([str(bad), "--rules", "R1,R2"]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_json_format(self, tmp_path, capsys):
+        p = tmp_path / "clean.py"
+        p.write_text("x = 1\n")
+        assert main([str(p), "--format", "json"]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.txt")]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("R1", "R2", "R3", "R4", "R5"):
+            assert code in out

@@ -1,0 +1,35 @@
+"""Self-check: the real ``src/repro`` tree passes its own linter.
+
+This is the test-suite mirror of the CI lint gate — if a change introduces
+a dtype/unit/stats/determinism/parity violation (or an unjustified
+suppression removal breaks one), it fails here before it fails in CI.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.cli import EXIT_CLEAN, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_real_tree_is_clean():
+    result = lint_paths([str(SRC)])
+    assert result.parse_errors == []
+    assert result.ok, "lint findings on the real tree:\n" + "\n".join(
+        f.format() for f in result.all_findings())
+    # The walk must actually have covered the package, not an empty dir.
+    assert result.files_checked >= 70
+
+
+def test_r5_sees_the_real_differential_suite():
+    """Kernel parity runs against the on-disk tests/ even when only
+    src/repro is linted — the suite lookup walks up from kernels.py."""
+    result = lint_paths([str(SRC)], codes=["R5"])
+    assert result.ok
+
+
+def test_cli_gate_matches_ci_invocation(capsys):
+    assert main([str(SRC)]) == EXIT_CLEAN
+    assert "clean:" in capsys.readouterr().out

@@ -87,3 +87,47 @@ class TestStatsThroughSimulators:
         after = pe.stats.as_dict()
         for key, before_val in snapshot.items():
             assert after[key] >= before_val, key
+
+
+class TestFieldCoverage:
+    """Every counter field — present and future — is exercised generically.
+
+    A field added to the ``PEStats`` dataclass without test coverage is
+    exactly the silent drift lint rule R3 guards against at the call-site
+    level; these tests close the loop on the dataclass side by deriving
+    the field list from ``dataclasses.fields`` instead of hard-coding it.
+    """
+
+    @staticmethod
+    def _distinct(offset: int = 0) -> "PEStats":
+        import dataclasses as _dc
+        return PEStats(**{f.name: (i + 1) * 10 + offset
+                          for i, f in enumerate(_dc.fields(PEStats))})
+
+    def test_merge_accumulates_every_field(self):
+        import dataclasses as _dc
+        a, b = self._distinct(0), self._distinct(7)
+        expect = {f.name: getattr(a, f.name) + getattr(b, f.name)
+                  for f in _dc.fields(PEStats)}
+        a.merge(b)
+        for name, value in expect.items():
+            assert getattr(a, name) == value, name
+
+    def test_scaled_multiplies_every_field(self):
+        import dataclasses as _dc
+        a = self._distinct(3)
+        s = a.scaled(5)
+        for f in _dc.fields(PEStats):
+            assert getattr(s, f.name) == 5 * getattr(a, f.name), f.name
+
+    def test_as_dict_covers_every_field_and_round_trips(self):
+        import dataclasses as _dc
+        a = self._distinct(1)
+        d = a.as_dict()
+        assert set(d) == {f.name for f in _dc.fields(PEStats)}
+        assert PEStats(**d) == a  # dataclass equality: field-wise
+
+    def test_add_round_trips_through_dict(self):
+        total = self._distinct(0) + self._distinct(9)
+        rebuilt = PEStats(**total.as_dict())
+        assert rebuilt == total
