@@ -29,6 +29,7 @@ from .mram_pe import MRAMPEConfig, MRAMSparsePE
 from .sram_pe import SRAMPEConfig, SRAMSparsePE
 from .stats import PEStats
 from .transpose_pe import BackpropEngine
+from .widths import width_contract
 
 
 @dataclasses.dataclass
@@ -127,6 +128,10 @@ class HybridAccelerator:
         return mapped, params
 
     # ------------------------------------------------------------------- run
+    @width_contract(inputs="i8", weights="i8", accum="i64",
+                    depth="MAX_ROW_TILES",
+                    returns="MAX_ROW_TILES * spmm_bitserial",
+                    params={"activations": "inputs"})
     def gemm(self, name: str, activations: np.ndarray) -> np.ndarray:
         """Exact integer GEMM ``activations @ W`` through the mapped tiles."""
         mapped = self._get(name)

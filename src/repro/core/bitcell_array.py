@@ -30,6 +30,7 @@ from .csc import CSCMatrix
 from .kernels import (KernelPlan, require_integer_activations,
                       spmm_bitserial)
 from .sram_pe import SRAMPEConfig
+from .widths import width_contract
 
 
 class BitCellArray:
@@ -76,6 +77,11 @@ class BitCellArray:
                        for b in range(self.config.index_bits)))
 
     # ------------------------------------------------------------------ cycle
+    @width_contract(inputs="u1", weights="u1", accum="i64",
+                    depth="MAX_ARRAY_ROWS * BITSERIAL_MAX_BITS",
+                    returns="MAX_ARRAY_ROWS * BITSERIAL_MAX_BITS"
+                            " * (1 << (BITSERIAL_MAX_BITS - 1))",
+                    params={"input_bits": "inputs"})
     def evaluate_cycle(self, input_bits: np.ndarray,
                        phase: int) -> np.ndarray:
         """One array cycle: AND, compare, adder-tree — per lane.
@@ -169,6 +175,10 @@ class BitLevelSparsePE:
             columns.append((np.asarray(rows, dtype=np.int64), values))
         return KernelPlan.from_columns(columns, self._shape)
 
+    @width_contract(inputs="i8", weights="i8", accum="i64",
+                    depth="MAX_REDUCTION_DEPTH",
+                    returns="spmm_bitserial",
+                    params={"activations": "inputs"})
     def matmul(self, activations: np.ndarray) -> np.ndarray:
         """Exact sparse matmul over the bit-cell contents.
 

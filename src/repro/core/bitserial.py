@@ -14,7 +14,12 @@ from typing import Tuple
 
 import numpy as np
 
+from .widths import BITSERIAL_MAX_BITS, width_contract
 
+
+@width_contract(inputs="i16", returns="u1",
+                bounds={"bits": BITSERIAL_MAX_BITS},
+                params={"values": "inputs"})
 def to_bit_planes(values: np.ndarray, bits: int = 8) -> np.ndarray:
     """Two's-complement bit planes of an integer array.
 
@@ -33,6 +38,8 @@ def to_bit_planes(values: np.ndarray, bits: int = 8) -> np.ndarray:
     return (unsigned[np.newaxis, ...] >> shifts) & 1
 
 
+@width_contract(returns="1 << (BITSERIAL_MAX_BITS - 1)",
+                bounds={"bit": 15, "bits": BITSERIAL_MAX_BITS})
 def plane_weight(bit: int, bits: int) -> int:
     """Arithmetic weight of bit plane ``bit`` in two's complement.
 
@@ -48,6 +55,8 @@ def plane_weight(bit: int, bits: int) -> int:
 _PLANE_WEIGHTS: dict = {}
 
 
+@width_contract(returns="1 << (BITSERIAL_MAX_BITS - 1)",
+                bounds={"bits": BITSERIAL_MAX_BITS})
 def plane_weights(bits: int) -> np.ndarray:
     """The vector of all ``bits`` plane weights (cached, read-only)."""
     weights = _PLANE_WEIGHTS.get(bits)
@@ -59,6 +68,10 @@ def plane_weights(bits: int) -> np.ndarray:
     return weights
 
 
+@width_contract(inputs="i32", weights="i16", accum="i64",
+                depth="BITSERIAL_MAX_BITS",
+                returns="depth * weights * inputs",
+                params={"partials": "inputs"})
 def from_partials(partials: np.ndarray, bits: int) -> np.ndarray:
     """Recombine per-bit-plane partial sums into the final integer result.
 

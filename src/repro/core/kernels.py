@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .bitserial import from_partials, to_bit_planes
+from .widths import BITSERIAL_MAX_BITS, width_contract
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .csc import CSCMatrix
@@ -81,11 +82,25 @@ def require_integer_values(values: np.ndarray, context: str) -> np.ndarray:
     (as ``np.asarray``) for call-site convenience.
     """
     values = np.asarray(values)
+    if values.dtype == np.bool_:
+        raise TypeError(
+            f"{context} stores integer values; got booleans "
+            "(cast explicitly if 0/1 planes are intended)")
+    if values.dtype == object:
+        # np.asarray falls back to object for ints beyond int64 and for
+        # ragged/mixed inputs; neither can enter the kernel plan exactly.
+        raise TypeError(
+            f"{context} stores integer values; got object dtype "
+            "(ints beyond int64 or mixed element types)")
     # Empty arrays default to float64 without meaning it; nothing to truncate.
     if values.size and not np.issubdtype(values.dtype, np.integer):
         raise TypeError(
             f"{context} stores integer values; got dtype {values.dtype} "
             f"(quantize before encoding)")
+    if values.ndim == 0:
+        # Python ints and 0-d arrays normalise to a 0-d int64 array, so
+        # scalars flow through the same dtype path as 1-d+ inputs.
+        return values.astype(np.int64)
     return values
 
 
@@ -191,6 +206,11 @@ def _check_activations(plan: KernelPlan, activations: np.ndarray) -> np.ndarray:
 # spmm_gather — MRAM-style MUX-select dataflow
 # ---------------------------------------------------------------------------
 
+@width_contract(inputs="i8", weights="i8", accum="i64",
+                depth="MAX_REDUCTION_DEPTH",
+                returns="depth * inputs * weights",
+                params={"activations": "inputs", "vals": "weights",
+                        "plan.values": "weights"})
 def _spmm_gather_reference(plan: KernelPlan,
                            activations: np.ndarray) -> np.ndarray:
     """Per-column loop, moved verbatim from ``MRAMSparsePE.matmul``."""
@@ -206,6 +226,11 @@ def _spmm_gather_reference(plan: KernelPlan,
     return out
 
 
+@width_contract(inputs="i8", weights="i8", accum="i64",
+                depth="MAX_REDUCTION_DEPTH",
+                returns="depth * inputs * weights",
+                params={"activations": "inputs",
+                        "plan.gather_values": "weights"})
 def _spmm_gather_fast(plan: KernelPlan, activations: np.ndarray) -> np.ndarray:
     """One fancy-index gather + one einsum over the padded plan."""
     batch = activations.shape[0]
@@ -215,6 +240,9 @@ def _spmm_gather_fast(plan: KernelPlan, activations: np.ndarray) -> np.ndarray:
     return np.einsum("bkc,kc->bc", gathered, plan.gather_values)
 
 
+@width_contract(inputs="i8", weights="i8", accum="i64",
+                returns="_spmm_gather_fast",
+                params={"activations": "inputs"})
 def spmm_gather(plan: KernelPlan, activations: np.ndarray,
                 impl: Optional[str] = None) -> np.ndarray:
     """``activations @ W`` via MUX-select gather (int64, bit-exact).
@@ -230,6 +258,12 @@ def spmm_gather(plan: KernelPlan, activations: np.ndarray,
 # spmm_bitserial — SRAM-style bit-plane x index-phase dataflow
 # ---------------------------------------------------------------------------
 
+@width_contract(inputs="i8", weights="i8", accum="i64",
+                depth="MAX_REDUCTION_DEPTH",
+                returns="from_partials",
+                bounds={"input_bits": BITSERIAL_MAX_BITS},
+                params={"activations": "inputs", "vals": "weights",
+                        "plan.values": "weights"})
 def _spmm_bitserial_reference(plan: KernelPlan, activations: np.ndarray,
                               input_bits: int) -> np.ndarray:
     """Per-column, per-bit-plane loop, moved verbatim from
@@ -252,6 +286,12 @@ def _spmm_bitserial_reference(plan: KernelPlan, activations: np.ndarray,
     return out
 
 
+@width_contract(inputs="i8", weights="i8", accum="i64",
+                depth="MAX_REDUCTION_DEPTH",
+                returns="from_partials",
+                bounds={"input_bits": BITSERIAL_MAX_BITS},
+                params={"activations": "inputs",
+                        "plan.gather_values": "weights"})
 def _spmm_bitserial_fast(plan: KernelPlan, activations: np.ndarray,
                          input_bits: int) -> np.ndarray:
     """All bit planes, columns and batch rows in one tensor contraction."""
@@ -264,6 +304,9 @@ def _spmm_bitserial_fast(plan: KernelPlan, activations: np.ndarray,
     return from_partials(partials, input_bits)
 
 
+@width_contract(inputs="i8", weights="i8", accum="i64",
+                returns="_spmm_bitserial_fast",
+                params={"activations": "inputs"})
 def spmm_bitserial(plan: KernelPlan, activations: np.ndarray,
                    input_bits: int, impl: Optional[str] = None) -> np.ndarray:
     """``activations @ W`` via the bit-serial schedule (int64, bit-exact).

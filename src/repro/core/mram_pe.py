@@ -36,6 +36,7 @@ from ..sparsity.nm import NMPattern
 from .csc import CSCMatrix
 from .kernels import KernelPlan, require_integer_activations, spmm_gather
 from .stats import PEStats
+from .widths import width_contract
 
 PIPELINE_DEPTH = 3  # read idx/weight -> fetch activation -> shift-acc
 
@@ -129,6 +130,9 @@ class MRAMSparsePE:
         return self.csc.nnz / self.config.pair_capacity  # repro-lint: disable-line=R1
 
     # ---------------------------------------------------------------- matmul
+    @width_contract(inputs="i8", weights="i8", accum="i64",
+                    returns="spmm_gather",
+                    params={"activations": "inputs"})
     def matmul(self, activations: np.ndarray) -> np.ndarray:
         """Sparse matmul ``activations @ W`` through the near-memory pipeline.
 
@@ -207,6 +211,11 @@ class MRAMDensePE:
         self._rows_used = -(-matrix.size // self.weights_per_row)
         self.stats.weight_bits_written += matrix.size * self.config.weight_bits
 
+    @width_contract(inputs="i8", weights="i8", accum="i64",
+                    depth="MAX_REDUCTION_DEPTH",
+                    returns="depth * inputs * weights",
+                    params={"activations": "inputs",
+                            "self.weight": "weights"})
     def matmul(self, activations: np.ndarray) -> np.ndarray:
         if self.weight is None:
             raise RuntimeError("load() a weight matrix first")

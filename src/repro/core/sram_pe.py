@@ -47,6 +47,7 @@ from .csc import CSCMatrix
 from .kernels import (KernelPlan, require_integer_activations,
                       spmm_bitserial)
 from .stats import PEStats
+from .widths import width_contract
 
 
 @dataclasses.dataclass(frozen=True)
@@ -167,6 +168,9 @@ class SRAMSparsePE:
         return self.csc.nnz / self.config.pair_capacity  # repro-lint: disable-line=R1
 
     # ---------------------------------------------------------------- matmul
+    @width_contract(inputs="i8", weights="i8", accum="i64",
+                    returns="spmm_bitserial",
+                    params={"activations": "inputs"})
     def matmul(self, activations: np.ndarray) -> np.ndarray:
         """Sparse matrix multiplication ``activations @ W`` on the PE.
 
@@ -263,6 +267,11 @@ class DenseDigitalPE:
         self.weight = matrix.astype(np.int64)
         self.stats.weight_bits_written += matrix.size * self.weight_bits
 
+    @width_contract(inputs="i8", weights="i8", accum="i64",
+                    depth="MAX_REDUCTION_DEPTH",
+                    returns="from_partials",
+                    params={"activations": "inputs",
+                            "self.weight": "weights"})
     def matmul(self, activations: np.ndarray) -> np.ndarray:
         if self.weight is None:
             raise RuntimeError("load() a weight matrix first")

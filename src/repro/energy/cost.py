@@ -28,6 +28,23 @@ from typing import Dict
 from ..core.stats import PEStats
 from .tech import DEFAULT_TECH, TechnologyModel
 
+# --------------------------------------------------------------------------
+# Arithmetic resolutions the per-op energies are derived for.  These must
+# agree with the datapath width contracts in repro.core (single source of
+# truth: repro/core/widths.py) — lint rule R7 cross-checks them, so e.g.
+# widening activations to INT16 without re-deriving e_mac is a lint error.
+# --------------------------------------------------------------------------
+
+#: Weight operand width of one costed MAC (= widths.WEIGHT_BITS).
+MAC_WEIGHT_BITS = 8
+
+#: Activation operand width of one costed MAC (= widths.ACTIVATION_BITS).
+MAC_ACTIVATION_BITS = 8
+
+#: Accumulator width the shift-accumulate/adder-tree energies assume
+#: (= widths.ACCUM_BITS; the functional simulator's int64).
+MAC_ACCUMULATOR_BITS = 64
+
 
 @dataclasses.dataclass
 class EnergyBreakdown:

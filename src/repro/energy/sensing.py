@@ -23,6 +23,24 @@ from scipy.stats import norm
 from .mtj import MTJParams
 from .units import UA_PER_A
 
+# --------------------------------------------------------------------------
+# Read-path resolutions this model charges for.  These must agree with the
+# datapath width contracts in repro.core (single source of truth:
+# repro/core/widths.py) — lint rule R7 cross-checks them, so a datapath
+# width change that would invalidate the sensing model is a lint error.
+# --------------------------------------------------------------------------
+
+#: Stored weight resolution per (weight, index) pair (= widths.WEIGHT_BITS).
+SENSED_WEIGHT_BITS = 8
+
+#: Stored index resolution per pair (= widths.INDEX_BITS).
+SENSED_INDEX_BITS = 4
+
+#: The all-digital sense amplifier resolves ONE bit per cell — no ADC.
+#: (= widths.PARTIAL_PRODUCT_BITS; the BER model below is only valid for
+#: binary AP/P discrimination.)
+SENSE_AMP_RESOLUTION_BITS = 1
+
 
 @dataclasses.dataclass(frozen=True)
 class SenseConfig:

@@ -2,15 +2,23 @@
 
 Exit status: 0 when every linted file is clean, 1 when any finding (error
 or warning) survives suppressions, 2 on usage errors.  CI gates on this.
+
+``--dataflow`` adds the opt-in flow-sensitive verifier (rules R6/R7) to
+the run; ``--list-suppressions`` audits every suppression pragma instead
+of linting; ``--strict`` escalates stale pragmas — pragmas that suppress
+nothing — into failures (as S1 findings in a lint run, as exit status 1
+in a ``--list-suppressions`` run).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .engine import lint_paths
+from .engine import audit_suppressions, lint_paths
+from .findings import Finding
 from .registry import all_rules
 from .reporters import REPORTERS
 
@@ -24,7 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=("AST invariant linter for the repro codebase: dtype, "
                      "unit, stats, determinism and kernel-parity "
-                     "discipline."))
+                     "discipline, plus the opt-in flow-sensitive "
+                     "bit-width verifier (--dataflow)."))
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to lint (default: src/repro)")
@@ -33,7 +42,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)")
     parser.add_argument(
         "--rules", default=None, metavar="R1,R2",
-        help="comma-separated rule codes to run (default: all)")
+        help="comma-separated rule codes to run (default: all non-opt-in)")
+    parser.add_argument(
+        "--dataflow", action="store_true",
+        help="also run the flow-sensitive bit-width/value-range verifier "
+             "(rules R6 bit-growth, R7 width-consistency)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat stale suppression pragmas (ones that suppress "
+             "nothing) as failures")
+    parser.add_argument(
+        "--list-suppressions", action="store_true",
+        help="list every suppression pragma with what it suppresses, "
+             "then exit (0, or 1 under --strict when stale pragmas exist)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit")
@@ -42,10 +63,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 def list_rules_text() -> str:
     lines = []
-    for rule in all_rules():
+    for rule in all_rules(include_optin=True):
+        optin = " (opt-in: --dataflow)" if rule.optin else ""
         lines.append(f"{rule.code}  {rule.name}  "
-                     f"[{rule.severity}/{rule.scope}]  {rule.description}")
+                     f"[{rule.severity}/{rule.scope}]  "
+                     f"{rule.description}{optin}")
     return "\n".join(lines)
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if not raw:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def _stale_finding(entry) -> Finding:
+    codes = ",".join(entry.codes)
+    return Finding(
+        code="S1", rule="stale-suppression", severity="warning",
+        path=entry.path, line=entry.line, col=0,
+        message=(f"pragma '{entry.kind}={codes}' suppresses nothing; "
+                 "delete it (strict mode)"))
+
+
+def _list_suppressions(args, codes: Optional[List[str]]) -> int:
+    entries = audit_suppressions(args.paths, codes=codes)
+    if args.format == "json":
+        print(json.dumps([e.as_dict() for e in entries],
+                         indent=2, sort_keys=True))
+    else:
+        for entry in entries:
+            print(entry.format())
+        stale = sum(1 for e in entries if e.stale)
+        print(f"{len(entries)} suppression pragma"
+              f"{'s' if len(entries) != 1 else ''}, {stale} stale")
+    if args.strict and any(e.stale for e in entries):
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -56,11 +110,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(list_rules_text())
         return EXIT_CLEAN
 
-    codes = None
-    if args.rules:
-        codes = [c.strip() for c in args.rules.split(",") if c.strip()]
+    codes = _parse_codes(args.rules)
     try:
-        result = lint_paths(args.paths, codes=codes)
+        if args.list_suppressions:
+            return _list_suppressions(args, codes)
+        result = lint_paths(args.paths, codes=codes,
+                            include_optin=args.dataflow)
+        if args.strict:
+            entries = audit_suppressions(args.paths, codes=codes)
+            result.findings.extend(_stale_finding(e)
+                                   for e in entries if e.stale)
+            result.findings.sort(key=lambda f: f.sort_key)
     except (FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE

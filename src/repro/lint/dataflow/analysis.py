@@ -1,0 +1,169 @@
+"""The fixpoint engine and the R6 checks it feeds.
+
+:func:`analyze_function` runs one contracted function to a fixpoint over
+its CFG — classic worklist iteration with interval widening at loop
+heads after a few precise visits — then replays three families of
+checks against the stabilised facts:
+
+* **reduction sites** (``@``, ``einsum``, ``tensordot``, ``sum``,
+  loop-nested ``+=``): the worst-case result range must fit the declared
+  accumulator; the finding carries the witness expression and the
+  operand/depth breakdown that produced the bound;
+* **call sites**: operands handed to a contracted callee must fit the
+  callee's declared parameter ranges;
+* **returns**: the joined return range must fit the declared summary.
+
+All three fire only on *finite* provable violations — TOP means "not
+modelled", never "guilty".
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from typing import Dict, List, Optional
+
+from .cfg import build_cfg
+from .contracts import WidthContract
+from .summaries import SummaryDB
+from .transfer import Env, Transfer, env_le, join_env, widen_env
+
+#: Precise loop-head visits before widening kicks in.
+WIDEN_AFTER = 3
+
+#: Hard cap on block executions per function (safety net; structured
+#: code converges orders of magnitude earlier thanks to widening).
+MAX_STEPS = 2000
+
+#: Witness expressions are collapsed to one line and clipped.
+_WITNESS_LIMIT = 78
+
+
+@dataclasses.dataclass
+class Problem:
+    """One verifier finding, before the rule stamps code/severity on it."""
+
+    line: int
+    col: int
+    message: str
+
+
+def analyze_function(contract: WidthContract, db: SummaryDB,
+                     module_consts: Dict[str, int], tree: ast.Module,
+                     source: str) -> List[Problem]:
+    """Run one contracted function to fixpoint; return its problems."""
+    transfer = Transfer(contract, db, module_consts, tree)
+    problems: List[Problem] = [
+        Problem(contract.line, 0,
+                f"width contract on {contract.qualname!r}: {msg}")
+        for msg in transfer.pin_problems]
+
+    cfg = build_cfg(contract.node)
+    in_states: Dict[int, Env] = {cfg.entry: transfer.entry_env()}
+    updates: Dict[int, int] = {}
+    worklist: List[int] = [cfg.entry]
+    steps = 0
+    while worklist and steps < MAX_STEPS:
+        steps += 1
+        block_id = worklist.pop()
+        block = cfg.block(block_id)
+        env = dict(in_states.get(block_id, {}))
+        if block.loop_binding is not None:
+            transfer.exec_loop_bind(block.loop_binding, env)
+        for stmt in block.stmts:
+            transfer.exec_stmt(stmt, env, loop_depth=block.loop_depth)
+        for succ_id in block.succs:
+            succ = cfg.block(succ_id)
+            old = in_states.get(succ_id)
+            if old is None:
+                new = dict(env)
+            else:
+                new = join_env(old, env)
+                count = updates.get(succ_id, 0)
+                if succ.is_loop_head and count >= WIDEN_AFTER:
+                    new = widen_env(old, new)
+            if old is None or not env_le(new, old):
+                in_states[succ_id] = new
+                updates[succ_id] = updates.get(succ_id, 0) + 1
+                if succ_id not in worklist:
+                    worklist.append(succ_id)
+
+    problems.extend(_reduction_problems(contract, transfer, source))
+    problems.extend(_call_problems(transfer, source))
+    problems.extend(_return_problems(contract, transfer, db))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Post-fixpoint checks
+# ---------------------------------------------------------------------------
+
+def _reduction_problems(contract: WidthContract, transfer: Transfer,
+                        source: str) -> List[Problem]:
+    accum = transfer.accum_iv
+    if accum is None:
+        return []
+    out: List[Problem] = []
+    for site in transfer.reductions.values():
+        result = site.result
+        if not result.bounded or accum.contains(result):
+            continue
+        witness = _source_snippet(source, site.node)
+        operands = " x ".join(str(iv) for iv in site.operands)
+        depth_note = (f" with declared depth {contract.depth!r}"
+                      if contract.depth else
+                      " with no declared depth (unbounded fan-in)")
+        out.append(Problem(
+            getattr(site.node, "lineno", contract.line),
+            getattr(site.node, "col_offset", 0),
+            f"reduction `{witness}` in {contract.qualname!r} can reach "
+            f"{result} (operand ranges {operands}{depth_note}), which "
+            f"does not fit the declared accumulator "
+            f"{contract.accum!r} = {accum}"))
+    return out
+
+
+def _call_problems(transfer: Transfer, source: str) -> List[Problem]:
+    out: List[Problem] = []
+    for check in transfer.call_checks.values():
+        observed = check.observed
+        if not observed.bounded or check.declared.contains(observed):
+            continue
+        witness = _source_snippet(source, check.node)
+        out.append(Problem(
+            getattr(check.node, "lineno", check.callee.line),
+            getattr(check.node, "col_offset", 0),
+            f"call `{witness}` passes {check.param}={observed} to "
+            f"{check.callee.qualname!r}, outside its declared "
+            f"{check.declared_text} = {check.declared}"))
+    return out
+
+
+def _return_problems(contract: WidthContract, transfer: Transfer,
+                     db: SummaryDB) -> List[Problem]:
+    declared = db.resolve_returns(contract)
+    observed = transfer.returns
+    if declared.is_top or observed.is_bottom or not observed.bounded:
+        return []
+    if declared.contains(observed):
+        return []
+    return [Problem(
+        contract.line, 0,
+        f"{contract.qualname!r} can return {observed}, outside its "
+        f"declared returns={contract.returns!r} = {declared}")]
+
+
+def _source_snippet(source: str, node: ast.AST,
+                    limit: int = _WITNESS_LIMIT) -> str:
+    text: Optional[str] = None
+    try:
+        text = ast.get_source_segment(source, node)
+    except (TypeError, ValueError):  # synthetic nodes without positions
+        text = None
+    if not text:
+        return "<expression>"
+    text = re.sub(r"\s+", " ", text).strip()
+    if len(text) > limit:
+        text = text[:limit - 3] + "..."
+    return text

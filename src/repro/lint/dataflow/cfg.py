@@ -1,0 +1,179 @@
+"""A small control-flow graph over function bodies.
+
+Structured Python lowers to a per-function graph of :class:`Block` nodes:
+straight-line statements grouped into basic blocks, with explicit edges
+for ``if``/``for``/``while``/``try`` and for ``break``/``continue``/
+``return``/``raise`` path termination.  Loop-head blocks are marked so
+the fixpoint engine knows where to widen, and ``for`` heads carry their
+``(target, iter)`` pair so the analysis can bind the loop variable.
+
+Nested function and class definitions are opaque statements — the
+analysis is intra-procedural; callees are handled by contract summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+@dataclasses.dataclass
+class Block:
+    """One basic block: simple statements then an optional branch point."""
+
+    id: int
+    stmts: List[ast.stmt] = dataclasses.field(default_factory=list)
+    succs: List[int] = dataclasses.field(default_factory=list)
+    #: Loop-head blocks are widening points for the fixpoint engine.
+    is_loop_head: bool = False
+    #: For ``for`` heads: the (target, iter) expressions to bind.
+    loop_binding: Optional[Tuple[ast.expr, ast.expr]] = None
+    #: How many loops enclose the *body* of this block's statements.
+    loop_depth: int = 0
+
+
+@dataclasses.dataclass
+class CFG:
+    """The graph plus its distinguished entry block."""
+
+    blocks: List[Block]
+    entry: int
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+
+class _Builder:
+    def __init__(self):
+        self.blocks: List[Block] = []
+
+    def new_block(self, loop_depth: int, **kwargs) -> Block:
+        block = Block(id=len(self.blocks), loop_depth=loop_depth, **kwargs)
+        self.blocks.append(block)
+        return block
+
+    def link(self, src: Optional[Block], dst: Block) -> None:
+        if src is not None and dst.id not in src.succs:
+            src.succs.append(dst.id)
+
+    # ------------------------------------------------------------------ body
+    def build_body(self, stmts: List[ast.stmt], current: Optional[Block],
+                   loop_depth: int,
+                   break_to: Optional[Block],
+                   continue_to: Optional[Block]) -> Optional[Block]:
+        """Thread ``stmts`` from ``current``; returns the live exit block
+        (None when every path terminated)."""
+        for stmt in stmts:
+            if current is None:
+                break  # unreachable code after a terminator
+            current = self.build_stmt(stmt, current, loop_depth,
+                                      break_to, continue_to)
+        return current
+
+    def build_stmt(self, stmt: ast.stmt, current: Block, loop_depth: int,
+                   break_to: Optional[Block],
+                   continue_to: Optional[Block]) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            current.stmts.append(stmt)   # condition evaluated in this block
+            join = self.new_block(loop_depth)
+            then_entry = self.new_block(loop_depth)
+            self.link(current, then_entry)
+            then_exit = self.build_body(stmt.body, then_entry, loop_depth,
+                                        break_to, continue_to)
+            self.link(then_exit, join)
+            if stmt.orelse:
+                else_entry = self.new_block(loop_depth)
+                self.link(current, else_entry)
+                else_exit = self.build_body(stmt.orelse, else_entry,
+                                            loop_depth, break_to, continue_to)
+                self.link(else_exit, join)
+            else:
+                self.link(current, join)
+            return join
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            head = self.new_block(loop_depth, is_loop_head=True,
+                                  loop_binding=(stmt.target, stmt.iter))
+            self.link(current, head)
+            exit_block = self.new_block(loop_depth)
+            self.link(head, exit_block)       # zero-iteration path
+            body_entry = self.new_block(loop_depth + 1)
+            self.link(head, body_entry)
+            body_exit = self.build_body(stmt.body, body_entry,
+                                        loop_depth + 1,
+                                        break_to=exit_block,
+                                        continue_to=head)
+            self.link(body_exit, head)        # back edge
+            if stmt.orelse:
+                return self.build_body(stmt.orelse, exit_block, loop_depth,
+                                       break_to, continue_to)
+            return exit_block
+
+        if isinstance(stmt, ast.While):
+            head = self.new_block(loop_depth, is_loop_head=True)
+            head.stmts.append(ast.Expr(value=stmt.test))
+            self.link(current, head)
+            exit_block = self.new_block(loop_depth)
+            self.link(head, exit_block)
+            body_entry = self.new_block(loop_depth + 1)
+            self.link(head, body_entry)
+            body_exit = self.build_body(stmt.body, body_entry,
+                                        loop_depth + 1,
+                                        break_to=exit_block,
+                                        continue_to=head)
+            self.link(body_exit, head)
+            if stmt.orelse:
+                return self.build_body(stmt.orelse, exit_block, loop_depth,
+                                       break_to, continue_to)
+            return exit_block
+
+        if isinstance(stmt, ast.Try):
+            # Conservative: body then finally as the main path; each handler
+            # is an alternative branch entered from the block before the try.
+            join = self.new_block(loop_depth)
+            body_entry = self.new_block(loop_depth)
+            self.link(current, body_entry)
+            body_exit = self.build_body(stmt.body + stmt.orelse, body_entry,
+                                        loop_depth, break_to, continue_to)
+            self.link(body_exit, join)
+            for handler in stmt.handlers:
+                h_entry = self.new_block(loop_depth)
+                self.link(current, h_entry)
+                h_exit = self.build_body(handler.body, h_entry, loop_depth,
+                                         break_to, continue_to)
+                self.link(h_exit, join)
+            if stmt.finalbody:
+                return self.build_body(stmt.finalbody, join, loop_depth,
+                                       break_to, continue_to)
+            return join
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.stmts.append(stmt)   # context expressions
+            return self.build_body(stmt.body, current, loop_depth,
+                                   break_to, continue_to)
+
+        if isinstance(stmt, ast.Break):
+            if break_to is not None:
+                self.link(current, break_to)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if continue_to is not None:
+                self.link(current, continue_to)
+            return None
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.stmts.append(stmt)
+            return None
+
+        # Everything else — assignments, expressions, asserts, nested
+        # definitions — is a simple statement of the current block.
+        current.stmts.append(stmt)
+        return current
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """The CFG of one ``FunctionDef`` body."""
+    builder = _Builder()
+    entry = builder.new_block(loop_depth=0)
+    builder.build_body(list(fn.body), entry, 0, None, None)
+    return CFG(blocks=builder.blocks, entry=entry.id)

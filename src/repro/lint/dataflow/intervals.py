@@ -1,0 +1,307 @@
+"""The value-range lattice: signed integer intervals with infinities.
+
+Every abstract value the dataflow pass propagates is an
+:class:`Interval` — a closed range ``[lo, hi]`` of Python integers where
+either bound may be infinite.  Arithmetic is *exact* (arbitrary-precision
+ints, no float rounding: the accumulator checks compare quantities near
+``2**63`` where float64 already loses integer resolution), and every
+operation is conservative: when a precise result is not computable the
+lattice answers :data:`TOP` (unknown) rather than guessing.
+
+``BOTTOM`` (the empty interval) models a value with *no* possible
+concretisation — e.g. the element range of a freshly allocated
+accumulator before any store has joined into it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterable, Optional, Tuple
+
+#: Sentinels for the infinite endpoints (kept out of arithmetic by the
+#: ``_e*`` helpers below).
+NEG_INF = "-inf"
+POS_INF = "+inf"
+
+_Bound = Optional[int]   # None encodes the infinite endpoint on that side
+
+#: ``i8`` / ``u4`` style width specs.
+WIDTH_SPEC_RE = re.compile(r"^(?P<sign>[iu])(?P<bits>[1-9][0-9]?[0-9]?)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``lo=None`` / ``hi=None`` are infinite."""
+
+    lo: _Bound
+    hi: _Bound
+    empty: bool = False
+
+    def __post_init__(self):
+        if not self.empty and self.lo is not None and self.hi is not None \
+                and self.lo > self.hi:
+            raise ValueError(f"interval [{self.lo}, {self.hi}] is inverted")
+
+    # ------------------------------------------------------------- predicates
+    @property
+    def is_top(self) -> bool:
+        return not self.empty and self.lo is None and self.hi is None
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.empty
+
+    @property
+    def bounded(self) -> bool:
+        """Both endpoints finite (and non-empty)."""
+        return not self.empty and self.lo is not None and self.hi is not None
+
+    @property
+    def nonnegative(self) -> bool:
+        return not self.empty and self.lo is not None and self.lo >= 0
+
+    def magnitude(self) -> Optional[int]:
+        """max(|lo|, |hi|), or None when unbounded/empty."""
+        if not self.bounded:
+            return None
+        return max(abs(self.lo), abs(self.hi))
+
+    def contains(self, other: "Interval") -> bool:
+        """Whether ``other`` is a sub-range of this interval."""
+        if other.empty:
+            return True
+        if self.empty:
+            return False
+        lo_ok = self.lo is None or (other.lo is not None
+                                    and other.lo >= self.lo)
+        hi_ok = self.hi is None or (other.hi is not None
+                                    and other.hi <= self.hi)
+        return lo_ok and hi_ok
+
+    # ------------------------------------------------------- lattice algebra
+    def join(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        lo = None if self.lo is None or other.lo is None \
+            else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None \
+            else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: any growing bound jumps to infinity."""
+        if self.empty:
+            return newer
+        if newer.empty:
+            return self
+        lo = self.lo
+        if lo is not None and (newer.lo is None or newer.lo < lo):
+            lo = None
+        hi = self.hi
+        if hi is not None and (newer.hi is None or newer.hi > hi):
+            hi = None
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------ arithmetic
+    def neg(self) -> "Interval":
+        if self.empty:
+            return BOTTOM
+        return Interval(None if self.hi is None else -self.hi,
+                        None if self.lo is None else -self.lo)
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOTTOM
+        lo = None if self.lo is None or other.lo is None \
+            else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None \
+            else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOTTOM
+        cands = [_emul(a, b)
+                 for a in self._ends(NEG_INF, POS_INF)
+                 for b in other._ends(NEG_INF, POS_INF)]
+        return _from_ends(cands)
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        """Conservative ``//``: only the positive-divisor case is modelled."""
+        if self.empty or other.empty:
+            return BOTTOM
+        if other.lo is None or other.lo < 1:
+            return TOP
+        divisors = [d for d in (other.lo, other.hi) if d is not None]
+        cands = []
+        for a in self._ends(NEG_INF, POS_INF):
+            for d in divisors:
+                cands.append(a if a in (NEG_INF, POS_INF) else a // d)
+            if other.hi is None:
+                # divisor can grow without bound: quotient tends to -1/0
+                cands.extend([-1, 0])
+        return _from_ends(cands)
+
+    def mod(self, other: "Interval") -> "Interval":
+        """Conservative ``%``: positive modulus yields ``[0, m - 1]``."""
+        if self.empty or other.empty:
+            return BOTTOM
+        if other.lo is not None and other.lo >= 1 and other.hi is not None:
+            return Interval(0, other.hi - 1)
+        return TOP
+
+    def lshift(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOTTOM
+        if other.lo is None or other.lo < 0 or other.hi is None:
+            return TOP
+        cands = [_eshift(a, s)
+                 for a in self._ends(NEG_INF, POS_INF)
+                 for s in (other.lo, other.hi)]
+        return _from_ends(cands)
+
+    def rshift(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOTTOM
+        if other.lo is None or other.lo < 0:
+            return TOP
+        shifts = [other.lo]
+        if other.hi is not None:
+            shifts.append(other.hi)
+        else:
+            shifts.append(None)    # x >> inf -> 0 or -1
+        cands = []
+        for a in self._ends(NEG_INF, POS_INF):
+            for s in shifts:
+                if s is None:
+                    cands.extend([-1, 0])
+                elif a in (NEG_INF, POS_INF):
+                    cands.append(a)
+                else:
+                    cands.append(a >> s)
+        return _from_ends(cands)
+
+    def bitand(self, other: "Interval") -> "Interval":
+        """``x & m``: a non-negative side bounds the result in ``[0, m]``."""
+        if self.empty or other.empty:
+            return BOTTOM
+        his = [i.hi for i in (self, other)
+               if i.nonnegative and i.hi is not None]
+        if not (self.nonnegative or other.nonnegative):
+            return TOP
+        if his:
+            return Interval(0, min(his))
+        return Interval(0, None)
+
+    def bitor(self, other: "Interval") -> "Interval":
+        """``x | y`` for non-negative operands stays below the next pow2."""
+        if self.empty or other.empty:
+            return BOTTOM
+        if self.nonnegative and other.nonnegative \
+                and self.hi is not None and other.hi is not None:
+            bound = (1 << max(self.hi.bit_length(),
+                              other.hi.bit_length())) - 1
+            return Interval(0, bound)
+        return TOP
+
+    def abs(self) -> "Interval":
+        if self.empty:
+            return BOTTOM
+        if self.lo is not None and self.lo >= 0:
+            return self
+        if self.hi is not None and self.hi <= 0:
+            return self.neg()
+        mags = [abs(b) for b in (self.lo, self.hi) if b is not None]
+        return Interval(0, max(mags) if len(mags) == 2 else None)
+
+    def symmetric(self) -> "Interval":
+        """``[-m, m]`` for ``m = magnitude()`` — TOP when unbounded."""
+        m = self.magnitude()
+        if m is None:
+            return TOP if not self.empty else BOTTOM
+        return Interval(-m, m)
+
+    # ---------------------------------------------------------------- output
+    def __str__(self) -> str:
+        if self.empty:
+            return "(empty)"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    # --------------------------------------------------------------- private
+    def _ends(self, neg, pos) -> Tuple:
+        return (neg if self.lo is None else self.lo,
+                pos if self.hi is None else self.hi)
+
+
+TOP = Interval(None, None)
+BOTTOM = Interval(0, 0, empty=True)
+ZERO = Interval(0, 0)
+BIT = Interval(0, 1)
+
+
+def const(value: int) -> Interval:
+    return Interval(int(value), int(value))
+
+
+def from_width_spec(spec: str) -> Optional[Interval]:
+    """``"i8"`` -> [-128, 127]; ``"u4"`` -> [0, 15]; None if not a spec."""
+    match = WIDTH_SPEC_RE.match(spec.strip())
+    if match is None:
+        return None
+    bits = int(match.group("bits"))
+    if match.group("sign") == "u":
+        return Interval(0, (1 << bits) - 1)
+    return Interval(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+
+
+def spec_bits(spec: str) -> Optional[int]:
+    """The bit count of a width spec, or None if not a spec."""
+    match = WIDTH_SPEC_RE.match(spec.strip())
+    return None if match is None else int(match.group("bits"))
+
+
+def join_all(intervals: Iterable[Interval]) -> Interval:
+    out = BOTTOM
+    for iv in intervals:
+        out = out.join(iv)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Extended-endpoint helpers (ints plus the two infinity sentinels).
+# --------------------------------------------------------------------------
+
+def _emul(a, b):
+    a_inf, b_inf = a in (NEG_INF, POS_INF), b in (NEG_INF, POS_INF)
+    if not a_inf and not b_inf:
+        return a * b
+    # 0 * inf := 0 — the standard interval-arithmetic convention, needed so
+    # [0, 0] x [0, +inf] stays [0, 0].
+    if (not a_inf and a == 0) or (not b_inf and b == 0):
+        return 0
+    a_neg = a == NEG_INF or (not a_inf and a < 0)
+    b_neg = b == NEG_INF or (not b_inf and b < 0)
+    return NEG_INF if a_neg != b_neg else POS_INF
+
+
+def _eshift(a, s: int):
+    if a in (NEG_INF, POS_INF):
+        return a
+    return a << s
+
+
+def _from_ends(cands) -> Interval:
+    lo = NEG_INF if NEG_INF in cands else min(
+        c for c in cands if c != POS_INF)
+    hi = POS_INF if POS_INF in cands else max(
+        c for c in cands if c != NEG_INF)
+    return Interval(None if lo == NEG_INF else lo,
+                    None if hi == POS_INF else hi)

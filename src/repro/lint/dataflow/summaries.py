@@ -1,0 +1,208 @@
+"""Function summaries: how contracted kernels compose.
+
+A contract's ``returns=`` declaration is one of three things —
+
+* a width spec (``"i8"``): the return range is that spec's range;
+* the bare name of another contracted function (``"spmm_bitserial"``):
+  the return range is *inherited* from that function's resolved summary,
+  so PE wrappers stay in sync with the kernels they delegate to;
+* an expression over roles, bounds, widths constants and summary names
+  (``"MAX_ROW_TILES * spmm_bitserial"``): evaluated in interval
+  arithmetic, then symmetrised to ``[-m, +m]`` of its magnitude — a
+  declared worst case is a magnitude, not a direction.
+
+Resolution is memoised per contract; recursion through a cycle of
+summaries degrades to TOP (unknown) rather than looping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .contracts import ContractError, WidthContract
+from .intervals import (BOTTOM, TOP, Interval, const, from_width_spec,
+                        join_all)
+
+#: Role names usable inside ``returns=`` / ``depth=`` expressions.
+ROLE_NAMES = ("inputs", "weights", "depth")
+
+
+class SummaryDB:
+    """All extracted contracts, indexed by bare function name."""
+
+    def __init__(self, contracts: List[WidthContract],
+                 consts: Dict[str, int]):
+        self.contracts = list(contracts)
+        self.consts = dict(consts)
+        self.by_name: Dict[str, List[WidthContract]] = {}
+        for contract in contracts:
+            self.by_name.setdefault(contract.name, []).append(contract)
+        self.errors: List[ContractError] = []
+        self._returns_cache: Dict[int, Interval] = {}
+        self._resolving: Set[int] = set()
+
+    # ------------------------------------------------------------- lookups
+    def lookup(self, bare_name: str) -> List[WidthContract]:
+        return self.by_name.get(bare_name, [])
+
+    def returns_for_name(self, bare_name: str) -> Optional[Interval]:
+        """Joined return range of every contract sharing ``bare_name``."""
+        matches = self.lookup(bare_name)
+        if not matches:
+            return None
+        return join_all(self.resolve_returns(c) for c in matches)
+
+    # ----------------------------------------------------------- resolution
+    def resolve_returns(self, contract: WidthContract) -> Interval:
+        key = id(contract)
+        cached = self._returns_cache.get(key)
+        if cached is not None:
+            return cached
+        if key in self._resolving:
+            return TOP   # summary cycle: give up, stay sound
+        self._resolving.add(key)
+        try:
+            result = self._resolve_returns(contract)
+        finally:
+            self._resolving.discard(key)
+        self._returns_cache[key] = result
+        return result
+
+    def _resolve_returns(self, contract: WidthContract) -> Interval:
+        text = contract.returns
+        if text is None:
+            return TOP
+        text = text.strip()
+        spec = from_width_spec(text)
+        if spec is not None:
+            return spec
+        if text in self.by_name:   # bare summary name: inherit exactly
+            return join_all(self.resolve_returns(c)
+                            for c in self.by_name[text])
+        value = self.eval_expr_text(text, contract)
+        if value is None:
+            return TOP
+        return value.symmetric()
+
+    def depth_interval(self, contract: WidthContract) -> Interval:
+        """``[0, depth]`` for the declared worst-case reduction fan-in.
+
+        No declaration (or an unresolvable one) means the fan-in is
+        unbounded — ``[0, +inf)`` — which keeps downstream checks sound:
+        a missing depth can never *hide* an overflow, it makes every
+        reduction range infinite and therefore unprovable either way.
+        """
+        if contract.depth is None:
+            return Interval(0, None)
+        value = self.eval_expr_text(contract.depth, contract,
+                                    allow_roles=False)
+        if value is None or value.hi is None:
+            return Interval(0, None)
+        if value.hi < 0:
+            return BOTTOM
+        return Interval(0, value.hi)
+
+    # ---------------------------------------------------------- expressions
+    def eval_expr_text(self, text: str, contract: WidthContract,
+                       allow_roles: bool = True) -> Optional[Interval]:
+        """Evaluate a contract expression to an interval; None on error."""
+        try:
+            node = ast.parse(text, mode="eval").body
+        except SyntaxError:
+            self.errors.append(ContractError(
+                contract.path, contract.line,
+                f"width contract on {contract.qualname!r}: expression "
+                f"{text!r} does not parse"))
+            return None
+        missing: List[str] = []
+        value = self._eval(node, contract, allow_roles, missing)
+        if missing:
+            self.errors.append(ContractError(
+                contract.path, contract.line,
+                f"width contract on {contract.qualname!r}: expression "
+                f"{text!r} references unresolvable name(s) "
+                f"{sorted(set(missing))} (not a widths constant, bound, "
+                "role, or contracted function)"))
+            return None
+        return value
+
+    def _eval(self, node: ast.AST, contract: WidthContract,
+              allow_roles: bool, missing: List[str]) -> Interval:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) and not isinstance(node.value,
+                                                              bool):
+                return const(node.value)
+            missing.append(repr(node.value))
+            return TOP
+        if isinstance(node, ast.Name):
+            return self._name(node.id, contract, allow_roles, missing)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return self._eval(node.operand, contract, allow_roles,
+                              missing).neg()
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, contract, allow_roles, missing)
+            right = self._eval(node.right, contract, allow_roles, missing)
+            if isinstance(node.op, ast.Add):
+                return left.add(right)
+            if isinstance(node.op, ast.Sub):
+                return left.sub(right)
+            if isinstance(node.op, ast.Mult):
+                return left.mul(right)
+            if isinstance(node.op, ast.FloorDiv):
+                return left.floordiv(right)
+            if isinstance(node.op, ast.LShift):
+                return left.lshift(right)
+            if isinstance(node.op, ast.RShift):
+                return left.rshift(right)
+            missing.append(f"<operator {type(node.op).__name__}>")
+            return TOP
+        missing.append(f"<{type(node).__name__}>")
+        return TOP
+
+    def _name(self, name: str, contract: WidthContract, allow_roles: bool,
+              missing: List[str]) -> Interval:
+        if allow_roles and name in ("inputs", "weights"):
+            spec = contract.role_spec(name)
+            if spec is None:
+                missing.append(name)
+                return TOP
+            iv = from_width_spec(spec)
+            if iv is None:
+                missing.append(f"{name}={spec!r}")
+                return TOP
+            return iv
+        if allow_roles and name == "depth":
+            return self.depth_interval(contract)
+        if name in contract.bounds:
+            # A bound is a worst case; inside expressions it stands for
+            # its maximal value.
+            return const(contract.bounds[name])
+        if name in self.consts:
+            return const(self.consts[name])
+        if allow_roles and name in self.by_name:
+            return join_all(self.resolve_returns(c)
+                            for c in self.by_name[name])
+        missing.append(name)
+        return TOP
+
+
+def resolve_param_interval(spec: str, contract: WidthContract
+                           ) -> Optional[Tuple[Interval, str]]:
+    """A ``params=`` value to (interval, description).
+
+    The value is either a role (``"inputs"``/``"weights"`` — resolved via
+    the contract's own role specs) or a direct width spec.
+    """
+    if spec in ("inputs", "weights"):
+        role_spec = contract.role_spec(spec)
+        if role_spec is None:
+            return None
+        iv = from_width_spec(role_spec)
+        if iv is None:
+            return None
+        return iv, f"{spec}={role_spec!r}"
+    iv = from_width_spec(spec)
+    if iv is None:
+        return None
+    return iv, repr(spec)

@@ -38,12 +38,28 @@ _PRAGMA_RE = re.compile(
 SUPPRESS_ALL = "all"
 
 
+@dataclasses.dataclass(frozen=True)
+class Pragma:
+    """One suppression comment, as written in the source."""
+
+    line: int
+    kind: str                 # "disable" or "disable-line"
+    codes: Tuple[str, ...]    # sorted rule codes (may contain "all")
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether this specific pragma suppresses ``finding``."""
+        if self.kind == "disable-line" and finding.line != self.line:
+            return False
+        return SUPPRESS_ALL in self.codes or finding.code in self.codes
+
+
 @dataclasses.dataclass
 class Suppressions:
     """Parsed suppression pragmas of one file."""
 
     file_codes: Set[str] = dataclasses.field(default_factory=set)
     line_codes: Dict[int, Set[str]] = dataclasses.field(default_factory=dict)
+    pragmas: List[Pragma] = dataclasses.field(default_factory=list)
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
@@ -54,7 +70,12 @@ class Suppressions:
             for match in _PRAGMA_RE.finditer(text):
                 codes = {c.strip() for c in match.group("codes").split(",")}
                 codes.discard("")
-                if match.group("kind") == "disable":
+                if not codes:
+                    continue
+                kind = match.group("kind")
+                supp.pragmas.append(Pragma(line=lineno, kind=kind,
+                                           codes=tuple(sorted(codes))))
+                if kind == "disable":
                     supp.file_codes |= codes
                 else:
                     supp.line_codes.setdefault(lineno, set()).update(codes)
@@ -107,6 +128,8 @@ class LintResult:
     findings: List[Finding]
     files_checked: int
     parse_errors: List[Finding] = dataclasses.field(default_factory=list)
+    #: Findings a pragma removed — kept for the suppression audit.
+    suppressed: List[Finding] = dataclasses.field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -142,10 +165,10 @@ def discover_files(paths: Sequence[str]) -> List[Path]:
     return out
 
 
-def _run_rules(contexts: List[FileContext],
-               rules: Sequence[Rule]) -> List[Finding]:
+def _collect_findings(contexts: List[FileContext],
+                      rules: Sequence[Rule]) -> List[Finding]:
+    """Every rule's raw findings, before suppression filtering."""
     findings: List[Finding] = []
-    by_path = {ctx.path: ctx for ctx in contexts}
     file_rules = [r for r in rules if r.scope == "file"]
     project_rules = [r for r in rules if r.scope == "project"]
 
@@ -156,20 +179,28 @@ def _run_rules(contexts: List[FileContext],
     project = ProjectContext(files=contexts)
     for rule in project_rules:
         findings.extend(rule.check_project(project))
+    return findings
 
-    kept = []
+
+def _run_rules(contexts: List[FileContext], rules: Sequence[Rule]
+               ) -> Tuple[List[Finding], List[Finding]]:
+    findings = _collect_findings(contexts, rules)
+    by_path = {ctx.path: ctx for ctx in contexts}
+
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
     for f in findings:
         ctx = by_path.get(f.path)
         if ctx is not None and ctx.suppressions.covers(f):
+            suppressed.append(f)
             continue
         kept.append(f)
-    return sorted(kept, key=lambda f: f.sort_key)
+    return (sorted(kept, key=lambda f: f.sort_key),
+            sorted(suppressed, key=lambda f: f.sort_key))
 
 
-def lint_paths(paths: Sequence[str],
-               codes: Optional[Sequence[str]] = None) -> LintResult:
-    """Lint files/directories on disk; the CLI's entry point."""
-    rules = all_rules(codes)
+def _parse_paths(paths: Sequence[str]
+                 ) -> Tuple[List[FileContext], List[Finding]]:
     contexts: List[FileContext] = []
     parse_errors: List[Finding] = []
     for path in discover_files(paths):
@@ -183,24 +214,96 @@ def lint_paths(paths: Sequence[str],
                 code="E0", rule="parse", severity="error", path=posix,
                 line=exc.lineno or 1, col=exc.offset or 0,
                 message=f"syntax error: {exc.msg}"))
-    findings = _run_rules(contexts, rules)
+    return contexts, parse_errors
+
+
+def lint_paths(paths: Sequence[str],
+               codes: Optional[Sequence[str]] = None,
+               include_optin: bool = False) -> LintResult:
+    """Lint files/directories on disk; the CLI's entry point."""
+    rules = all_rules(codes, include_optin=include_optin)
+    contexts, parse_errors = _parse_paths(paths)
+    findings, suppressed = _run_rules(contexts, rules)
     return LintResult(findings=findings, files_checked=len(contexts),
-                      parse_errors=parse_errors)
+                      parse_errors=parse_errors, suppressed=suppressed)
 
 
 def lint_sources(sources: Dict[str, str],
-                 codes: Optional[Sequence[str]] = None) -> LintResult:
+                 codes: Optional[Sequence[str]] = None,
+                 include_optin: bool = False) -> LintResult:
     """Lint in-memory ``{path: source}`` pairs — the test fixtures' door.
 
     Paths are virtual but flow through ``applies_to`` exactly like real
     ones, so a fixture named ``src/repro/core/kernels.py`` exercises the
     same rule routing as the real module.
     """
-    rules = all_rules(codes)
+    rules = all_rules(codes, include_optin=include_optin)
     contexts = [FileContext.from_source(src, path)
                 for path, src in sources.items()]
-    findings = _run_rules(contexts, rules)
-    return LintResult(findings=findings, files_checked=len(contexts))
+    findings, suppressed = _run_rules(contexts, rules)
+    return LintResult(findings=findings, files_checked=len(contexts),
+                      suppressed=suppressed)
+
+
+# ---------------------------------------------------------------------------
+# Suppression audit (``--list-suppressions``)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SuppressionEntry:
+    """One pragma plus how many findings it actually suppresses."""
+
+    path: str
+    line: int
+    kind: str
+    codes: Tuple[str, ...]
+    matches: int
+
+    @property
+    def stale(self) -> bool:
+        """A pragma that suppresses nothing should be deleted."""
+        return self.matches == 0
+
+    def format(self) -> str:
+        codes = ",".join(self.codes)
+        count = (f"{self.matches} finding"
+                 f"{'s' if self.matches != 1 else ''} suppressed")
+        status = "STALE: suppresses nothing" if self.stale else count
+        return f"{self.path}:{self.line}: {self.kind}={codes} ({status})"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "kind": self.kind,
+                "codes": list(self.codes), "matches": self.matches,
+                "stale": self.stale}
+
+
+def audit_suppressions(paths: Sequence[str],
+                       codes: Optional[Sequence[str]] = None,
+                       include_optin: bool = True
+                       ) -> List[SuppressionEntry]:
+    """Every pragma under ``paths`` with its suppression count.
+
+    Runs the rules *without* filtering and counts, per pragma, the raw
+    findings it covers.  By default all registered rules (including the
+    opt-in dataflow family) contribute, so a pragma is only reported
+    stale when no rule at all would fire behind it.
+    """
+    rules = all_rules(codes, include_optin=include_optin)
+    contexts, _ = _parse_paths(paths)
+    raw = _collect_findings(contexts, rules)
+    by_path: Dict[str, List[Finding]] = {}
+    for f in raw:
+        by_path.setdefault(f.path, []).append(f)
+
+    entries: List[SuppressionEntry] = []
+    for ctx in contexts:
+        findings = by_path.get(ctx.path, [])
+        for pragma in ctx.suppressions.pragmas:
+            matches = sum(1 for f in findings if pragma.covers(f))
+            entries.append(SuppressionEntry(
+                path=ctx.path, line=pragma.line, kind=pragma.kind,
+                codes=pragma.codes, matches=matches))
+    return sorted(entries, key=lambda e: (e.path, e.line))
 
 
 def lint_source(source: str, path: str,

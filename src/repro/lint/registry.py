@@ -34,6 +34,9 @@ class Rule:
     severity: str = "error"
     scope: str = "file"           # "file" or "project"
     description: str = ""
+    #: Opt-in rules (the dataflow verifier's R6/R7) are excluded from the
+    #: default rule set; enable them with explicit codes or include_optin.
+    optin: bool = False
 
     def applies_to(self, path: str) -> bool:
         """Whether this (file-scoped) rule runs on ``path`` (posix-style)."""
@@ -70,11 +73,18 @@ def register(rule_cls):
     return rule_cls
 
 
-def all_rules(codes: Optional[Iterable[str]] = None) -> List[Rule]:
-    """Registered rules, optionally restricted to ``codes`` (unknown → error)."""
+def all_rules(codes: Optional[Iterable[str]] = None,
+              include_optin: bool = False) -> List[Rule]:
+    """Registered rules, optionally restricted to ``codes`` (unknown → error).
+
+    Without explicit ``codes``, opt-in rules are excluded unless
+    ``include_optin`` is set (the CLI's ``--dataflow`` switch).  Naming a
+    code explicitly always selects it, opt-in or not.
+    """
     _ensure_loaded()
     if codes is None:
-        return [(_REGISTRY[c]) for c in sorted(_REGISTRY)]
+        return [_REGISTRY[c] for c in sorted(_REGISTRY)
+                if include_optin or not _REGISTRY[c].optin]
     out = []
     for code in codes:
         if code not in _REGISTRY:
@@ -92,3 +102,4 @@ def get_rule(code: str) -> Rule:
 def _ensure_loaded() -> None:
     """Import the built-in rule modules (idempotent)."""
     from . import rules  # noqa: F401  (import side effect: registration)
+    from .dataflow import rules as dataflow_rules  # noqa: F401

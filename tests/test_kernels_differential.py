@@ -147,7 +147,7 @@ class TestPlan:
         assert plan.col_ptr[0] == 0 and plan.col_ptr[-1] == plan.nnz
         assert plan.gather_rows.shape == (plan.max_column_nnz, 6)
         # padding slots must be (row 0, value 0) so they contribute nothing
-        for c, rows, vals in plan.column_slices():
+        for c, _rows, vals in plan.column_slices():
             pad = plan.gather_values[len(vals):, c]
             np.testing.assert_array_equal(pad, 0)
 

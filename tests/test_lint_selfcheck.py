@@ -33,3 +33,10 @@ def test_r5_sees_the_real_differential_suite():
 def test_cli_gate_matches_ci_invocation(capsys):
     assert main([str(SRC)]) == EXIT_CLEAN
     assert "clean:" in capsys.readouterr().out
+
+
+def test_real_tree_is_clean_under_dataflow(capsys):
+    """The CI gate also runs the opt-in dataflow verifier in strict mode:
+    every @width_contract must hold and every pragma must earn its keep."""
+    assert main(["--dataflow", "--strict", str(SRC)]) == EXIT_CLEAN
+    capsys.readouterr()

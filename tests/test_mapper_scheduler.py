@@ -47,12 +47,12 @@ class TestTiling:
         pattern = NMPattern(1, 8)
         blocks = tile_layer_shapes(256, 16, pattern, pe_pairs=1024,
                                    max_rows=128)
-        for r, c, rows, cols in blocks:
+        for r, _c, _rows, _cols in blocks:
             assert r % pattern.m == 0
 
     def test_tile_fits_pe(self):
         pattern = NMPattern(2, 4)  # density 0.5
-        for r, c, rows, cols in tile_layer_shapes(512, 100, pattern,
+        for _r, _c, rows, cols in tile_layer_shapes(512, 100, pattern,
                                                   pe_pairs=1024,
                                                   max_rows=128):
             assert math.ceil(rows * pattern.density) * cols <= 1024

@@ -1,0 +1,71 @@
+"""Regression tests for ``require_integer_values`` scalar handling.
+
+The guard previously only saw 1-d+ arrays in practice; 0-d arrays and
+Python scalars took under-specified paths (bools slipped through as a
+confusing dtype error, huge ints surfaced as ``object`` dtype).  Scalars
+now normalise to 0-d int64 and the rejection messages name the cause.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import require_integer_values
+
+
+def test_python_int_normalises_to_int64():
+    out = require_integer_values(5, "test")
+    assert out.ndim == 0
+    assert out.dtype == np.int64
+    assert int(out) == 5
+
+
+def test_zero_d_array_normalises_to_int64():
+    out = require_integer_values(np.int8(-3), "test")
+    assert out.ndim == 0
+    assert out.dtype == np.int64
+    assert int(out) == -3
+    out = require_integer_values(np.array(7, dtype=np.uint16), "test")
+    assert out.dtype == np.int64 and int(out) == 7
+
+
+def test_python_int_matches_zero_d_array():
+    a = require_integer_values(11, "test")
+    b = require_integer_values(np.array(11), "test")
+    assert a.dtype == b.dtype and a.shape == b.shape and int(a) == int(b)
+
+
+def test_zero_d_float_rejected():
+    with pytest.raises(TypeError, match="quantize"):
+        require_integer_values(np.array(1.5), "test")
+    with pytest.raises(TypeError, match="quantize"):
+        require_integer_values(2.0, "test")
+
+
+def test_bool_rejected_with_clear_message():
+    with pytest.raises(TypeError, match="boolean"):
+        require_integer_values(True, "test")
+    with pytest.raises(TypeError, match="boolean"):
+        require_integer_values(np.array([True, False]), "test")
+
+
+def test_object_dtype_rejected():
+    with pytest.raises(TypeError, match="object"):
+        require_integer_values(1 << 70, "test")
+
+
+def test_integer_arrays_pass_through_unchanged():
+    values = np.array([1, 2, 3], dtype=np.int8)
+    out = require_integer_values(values, "test")
+    assert out.dtype == np.int8
+    np.testing.assert_array_equal(out, values)
+
+
+def test_empty_array_still_tolerated():
+    # Empty arrays default to float64 without meaning it; nothing truncates.
+    out = require_integer_values(np.array([]), "test")
+    assert out.size == 0
+
+
+def test_float_array_rejected():
+    with pytest.raises(TypeError, match="float64"):
+        require_integer_values(np.array([1.0, 2.0]), "test")
