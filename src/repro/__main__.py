@@ -40,6 +40,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="table1 only: use the quick test budget")
     parser.add_argument("--json", default=None,
                         help="write the structured result to this JSON path")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="enable span tracing; write a Chrome "
+                             "trace_events file (chrome://tracing) here")
     parser.add_argument("--out", default="results",
                         help="output directory for 'all' (default: results/)")
     args = parser.parse_args(argv)
@@ -52,19 +55,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                           table2)
 
     if args.experiment == "table1":
-        table1.main(json_path=args.json, fast=args.fast)
+        table1.main(json_path=args.json, fast=args.fast,
+                    trace_path=args.trace)
     elif args.experiment == "table2":
-        table2.main(json_path=args.json)
+        table2.main(json_path=args.json, trace_path=args.trace)
     elif args.experiment == "fig7":
-        fig7.main(json_path=args.json)
+        fig7.main(json_path=args.json, trace_path=args.trace)
     elif args.experiment == "fig8":
-        fig8.main(json_path=args.json)
+        fig8.main(json_path=args.json, trace_path=args.trace)
     elif args.experiment == "figures":
-        figures.main()
+        figures.main(trace_path=args.trace)
     elif args.experiment == "endurance":
-        endurance.main(json_path=args.json)
+        endurance.main(json_path=args.json, trace_path=args.trace)
     elif args.experiment == "ablations":
-        ablations.main(json_path=args.json)
+        ablations.main(json_path=args.json, trace_path=args.trace)
     elif args.experiment == "all":
         # Everything that runs in seconds; the full table1 is its own command.
         table2.main(json_path=f"{args.out}/table2.json")

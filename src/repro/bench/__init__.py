@@ -1,0 +1,28 @@
+"""``repro.bench`` — the benchmark/regression harness behind CI's bench gate.
+
+``python -m repro.bench`` runs a fixed suite of *model metrics* (the
+deterministic normalized area/power/EDP outputs behind Fig. 7/Fig. 8 and
+the Table 2 device checks) and *timing metrics* (PE-kernel matmul
+micro-benchmarks plus harness build wall times, monotonic best-of-N), and
+emits the canonical ``BENCH_harness.json``.
+
+``--check`` compares the run against the committed baseline under
+``benchmarks/baselines/`` with per-metric relative tolerances — exact-ish
+for model outputs (they must not drift at all), generous and
+slower-only for timings (cross-machine noise) — and exits nonzero on any
+regression or missing metric.  ``--update-baseline`` rewrites the
+baseline after an intentional change (see README "Updating the benchmark
+baseline").
+"""
+
+from .compare import (CheckResult, MODEL_RTOL, TIMING_RTOL, compare_metrics,
+                      render_check_report)
+from .runner import (BASELINE_PATH, BENCH_SCHEMA, CANONICAL_OUTPUT,
+                     collect_model_metrics, collect_timing_metrics, run_bench)
+
+__all__ = [
+    "BENCH_SCHEMA", "CANONICAL_OUTPUT", "BASELINE_PATH",
+    "run_bench", "collect_model_metrics", "collect_timing_metrics",
+    "CheckResult", "MODEL_RTOL", "TIMING_RTOL", "compare_metrics",
+    "render_check_report",
+]

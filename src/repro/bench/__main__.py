@@ -1,0 +1,94 @@
+"""``python -m repro.bench`` — run the benchmark suite / regression gate.
+
+.. code-block:: bash
+
+    python -m repro.bench                     # run, write BENCH_harness.json
+    python -m repro.bench --check             # + compare vs committed baseline
+    python -m repro.bench --update-baseline   # rewrite the baseline
+    python -m repro.bench --trace bench.trace.json   # + smoke Chrome trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from .compare import compare_metrics, render_check_report
+from .runner import BASELINE_PATH, CANONICAL_OUTPUT, DEFAULT_REPEATS, run_bench
+
+
+def _write(path: pathlib.Path, doc: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the model/timing benchmark suite and optionally "
+                    "gate against the committed baseline.")
+    parser.add_argument("--out", default=CANONICAL_OUTPUT,
+                        help=f"output JSON path (default: {CANONICAL_OUTPUT})")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help=f"baseline JSON path (default: {BASELINE_PATH})")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit nonzero on "
+                             "any regression or missing metric")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="best-of-N repeats for timing metrics "
+                             f"(default: {DEFAULT_REPEATS})")
+    parser.add_argument("--no-timings", action="store_true",
+                        help="model metrics only (deterministic subset)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="enable span tracing; write a Chrome "
+                             "trace_events file here")
+    args = parser.parse_args(argv)
+
+    from ..harness.reporting import begin_trace, finish_trace
+
+    begin_trace(args.trace)
+    doc = run_bench(repeats=args.repeats,
+                    include_timings=not args.no_timings)
+    finish_trace(args.trace)
+
+    out_path = pathlib.Path(args.out)
+    _write(out_path, doc)
+    print(f"wrote {out_path} ({len(doc['metrics'])} metrics)")
+
+    if args.update_baseline:
+        base_path = pathlib.Path(args.baseline)
+        _write(base_path, doc)
+        print(f"updated baseline {base_path}")
+        return 0
+
+    if not args.check:
+        return 0
+
+    base_path = pathlib.Path(args.baseline)
+    if not base_path.exists():
+        print(f"error: baseline {base_path} not found "
+              "(run with --update-baseline to create it)", file=sys.stderr)
+        return 2
+    with open(base_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    results = compare_metrics(doc, baseline)
+    print()
+    print(render_check_report(results))
+    failed = [r for r in results if r.failed]
+    if failed:
+        for r in failed:
+            print(f"FAIL {r.name}: {r.detail}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""The ``--check`` comparator: current run vs the committed baseline.
+
+Every baseline metric must be present in the current run and within its
+relative tolerance.  Tolerances are per-metric: an explicit ``rtol`` /
+``direction`` on the baseline entry wins; otherwise the ``kind`` default
+applies — tight two-sided for deterministic ``model`` outputs, generous
+increase-only for machine-dependent ``timing`` values (faster is never a
+regression).  Metrics only present in the current run are reported as
+``new`` (informational, so adding a benchmark never breaks the gate —
+commit an updated baseline to start gating it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping
+
+#: Default relative tolerance for deterministic model outputs (two-sided).
+MODEL_RTOL = 1e-6
+
+#: Default relative tolerance for timings: fail only when the current run
+#: is slower than baseline by more than this fraction (3.0 -> 4x slower),
+#: absorbing cross-machine and CI-runner noise.
+TIMING_RTOL = 3.0
+
+#: Statuses that make the gate fail.
+FAILING = ("regressed", "missing")
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """One metric's verdict."""
+
+    name: str
+    status: str                # 'ok' | 'regressed' | 'missing' | 'new'
+    baseline: float = float("nan")
+    current: float = float("nan")
+    rel_delta: float = 0.0     # (current - baseline) / |baseline|
+    limit: float = 0.0         # the tolerance that applied
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+
+def _tolerance(entry: Mapping[str, object]) -> float:
+    if "rtol" in entry:
+        return float(entry["rtol"])           # explicit per-metric override
+    return TIMING_RTOL if entry.get("kind") == "timing" else MODEL_RTOL
+
+
+def _direction(entry: Mapping[str, object]) -> str:
+    if "direction" in entry:
+        return str(entry["direction"])        # 'both' | 'increase'
+    return "increase" if entry.get("kind") == "timing" else "both"
+
+
+def compare_metrics(current: Mapping[str, object],
+                    baseline: Mapping[str, object]) -> List[CheckResult]:
+    """Compare two benchmark documents; one :class:`CheckResult` per metric."""
+    cur_metrics: Dict[str, Mapping[str, object]] = dict(
+        current.get("metrics", {}))
+    base_metrics: Mapping[str, Mapping[str, object]] = baseline.get(
+        "metrics", {})
+    results: List[CheckResult] = []
+
+    for name in sorted(base_metrics):
+        entry = base_metrics[name]
+        base_value = float(entry["value"])
+        rtol = _tolerance(entry)
+        direction = _direction(entry)
+        cur_entry = cur_metrics.pop(name, None)
+        if cur_entry is None:
+            results.append(CheckResult(
+                name=name, status="missing", baseline=base_value, limit=rtol,
+                detail="metric absent from the current run"))
+            continue
+        cur_value = float(cur_entry["value"])
+        denom = abs(base_value) if base_value else 1.0
+        rel = (cur_value - base_value) / denom
+        exceeded = (rel > rtol if direction == "increase"
+                    else abs(rel) > rtol)
+        results.append(CheckResult(
+            name=name, status="regressed" if exceeded else "ok",
+            baseline=base_value, current=cur_value, rel_delta=rel,
+            limit=rtol,
+            detail=f"rel delta {rel:+.3g} vs rtol {rtol:g} ({direction})"))
+
+    for name in sorted(cur_metrics):
+        results.append(CheckResult(
+            name=name, status="new",
+            current=float(cur_metrics[name]["value"]),
+            detail="not in baseline (informational)"))
+    return results
+
+
+def render_check_report(results: List[CheckResult]) -> str:
+    """Fixed-width report of a comparison (the CI log format)."""
+    from ..harness.reporting import format_table
+
+    rows = []
+    for r in results:
+        rows.append([
+            "FAIL" if r.failed else r.status.upper(),
+            r.name,
+            "-" if r.status == "new" else f"{r.baseline:.6g}",
+            "-" if r.status == "missing" else f"{r.current:.6g}",
+            "-" if r.status in ("new", "missing") else f"{r.rel_delta:+.3g}",
+        ])
+    failed = [r for r in results if r.failed]
+    title = (f"bench --check: {len(failed)} failing / {len(results)} metrics"
+             if failed else
+             f"bench --check: all {len(results)} metrics within tolerance")
+    return format_table(["Status", "Metric", "Baseline", "Current", "Rel d"],
+                        rows, title=title)

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..energy.cost import CostModel, EnergyBreakdown
 from ..energy.tech import DEFAULT_TECH, TechnologyModel
+from ..obs import counter_delta, flatten_stats, get_tracer, nonzero
 from ..quant.int8 import QuantParams, quantize_weight_int
 from ..sparsity.nm import NMPattern, compute_nm_mask, verify_nm
 from .mapper import tile_layer_shapes
@@ -102,14 +103,16 @@ class HybridAccelerator:
         in_dim, out_dim = weight_int.shape
 
         tiles: List[Tuple[int, int, object]] = []
-        for r, c, rows, cols in tile_layer_shapes(
-                in_dim, out_dim, self.pattern, pe_pairs, max_rows=max_rows):
-            block = weight_int[r:r + rows, c:c + cols]
-            pe = (SRAMSparsePE(self.sram_config, kernel=self.kernel)
-                  if kind == "sram"
-                  else MRAMSparsePE(self.mram_config, kernel=self.kernel))
-            pe.load(block, self.pattern)
-            tiles.append((r, c, pe))
+        with get_tracer().span("accel.load_gemm", gemm=name, kind=kind) as sp:
+            for r, c, rows, cols in tile_layer_shapes(
+                    in_dim, out_dim, self.pattern, pe_pairs, max_rows=max_rows):
+                block = weight_int[r:r + rows, c:c + cols]
+                pe = (SRAMSparsePE(self.sram_config, kernel=self.kernel)
+                      if kind == "sram"
+                      else MRAMSparsePE(self.mram_config, kernel=self.kernel))
+                pe.load(block, self.pattern)
+                tiles.append((r, c, pe))
+            sp.count(tiles=len(tiles), weights=int(in_dim) * int(out_dim))
 
         mapped = MappedGemm(name=name, in_dim=in_dim, out_dim=out_dim,
                             learnable=learnable, kind=kind, tiles=tiles)
@@ -140,12 +143,41 @@ class HybridAccelerator:
             raise ValueError(
                 f"activation dim {activations.shape[1]} != GEMM in_dim "
                 f"{mapped.in_dim}")
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("accel.gemm", gemm=name, kind=mapped.kind,
+                             tiles=mapped.pe_count,
+                             batch=activations.shape[0]) as sp:
+                before = self._probe_counters()
+                out = self._run_tiles(mapped, activations)
+                sp.count(**nonzero(counter_delta(before,
+                                                 self._probe_counters())))
+            return out
+        return self._run_tiles(mapped, activations)
+
+    @width_contract(inputs="i8", weights="i8", accum="i64",
+                    depth="MAX_ROW_TILES",
+                    returns="MAX_ROW_TILES * spmm_bitserial",
+                    params={"activations": "inputs"})
+    def _run_tiles(self, mapped: MappedGemm,
+                   activations: np.ndarray) -> np.ndarray:
         out = np.zeros((activations.shape[0], mapped.out_dim), dtype=np.int64)
         for r, c, pe in mapped.tiles:
             rows = pe.csc.shape[0]
             cols = pe.csc.shape[1]
             out[:, c:c + cols] += pe.matmul(activations[:, r:r + rows])
         return out
+
+    def _probe_counters(self) -> Dict[str, float]:
+        """Tracing probe: PEStats counters + energy totals, flattened.
+
+        Only evaluated while the tracer is enabled — walks every PE, so the
+        disabled path never pays for it.
+        """
+        counters = flatten_stats(self.stats())
+        for kind, breakdown in self.energy_report().items():
+            counters[f"{kind}.energy_pj"] = breakdown.total_pj
+        return counters
 
     def linear(self, name: str, x: np.ndarray,
                input_params: Optional[QuantParams] = None) -> np.ndarray:

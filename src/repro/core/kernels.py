@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_tracer
 from .bitserial import from_partials, to_bit_planes
 from .widths import BITSERIAL_MAX_BITS, width_contract
 
@@ -251,7 +252,13 @@ def spmm_gather(plan: KernelPlan, activations: np.ndarray,
     out_dim)`` int64, equal to ``activations @ plan.decode()`` exactly.
     """
     activations = _check_activations(plan, activations)
-    return _GATHER_IMPLS[resolve_kernel(impl)](plan, activations)
+    name = resolve_kernel(impl)
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span("kernel.spmm_gather", impl=name) as sp:
+            sp.count(nnz=plan.nnz, batch=activations.shape[0], calls=1)
+            return _GATHER_IMPLS[name](plan, activations)
+    return _GATHER_IMPLS[name](plan, activations)
 
 
 # ---------------------------------------------------------------------------
@@ -315,8 +322,14 @@ def spmm_bitserial(plan: KernelPlan, activations: np.ndarray,
     either way the result equals ``activations @ plan.decode()`` exactly.
     """
     activations = _check_activations(plan, activations)
-    return _BITSERIAL_IMPLS[resolve_kernel(impl)](plan, activations,
-                                                  input_bits)
+    name = resolve_kernel(impl)
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span("kernel.spmm_bitserial", impl=name,
+                         input_bits=input_bits) as sp:
+            sp.count(nnz=plan.nnz, batch=activations.shape[0], calls=1)
+            return _BITSERIAL_IMPLS[name](plan, activations, input_bits)
+    return _BITSERIAL_IMPLS[name](plan, activations, input_bits)
 
 
 _GATHER_IMPLS = {

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import get_tracer
 from ..sparsity.nm import NMPattern
 from .mram_pe import MRAMPEConfig
 from .sram_pe import SRAMPEConfig
@@ -114,6 +115,16 @@ class HybridMapper:
 
     def map_workload(self, workload: Workload) -> MappingPlan:
         """Assign every layer's tiles to PEs; frozen -> MRAM, learnable -> SRAM."""
+        with get_tracer().span("mapper.map_workload",
+                               workload=workload.name,
+                               pattern=str(self.pattern)) as sp:
+            plan = self._map_workload(workload)
+            sp.count(tiles=len(plan.tiles), pairs=plan.total_pairs,
+                     sram_pes=plan.sram_pes_used,
+                     mram_pes=plan.mram_pes_used)
+        return plan
+
+    def _map_workload(self, workload: Workload) -> MappingPlan:
         tiles: List[Tile] = []
         sram_next = 0
         mram_next = 0

@@ -19,6 +19,7 @@ import dataclasses
 import math
 from typing import Dict, List, Optional
 
+from ..obs import get_tracer
 from .designs import DenseCIMDesign
 from .mapper import MappingPlan, Tile
 from .mram_pe import PIPELINE_DEPTH
@@ -96,6 +97,15 @@ class SIMTScheduler:
         layer.  Total cycles = pipeline fill (one sample through every
         layer) + (samples - 1) x bottleneck-layer cycles.
         """
+        with get_tracer().span("sched.inference", workload=workload.name,
+                               batch=batch, pipelined=pipelined) as sp:
+            result = self._schedule_inference(workload, batch, pipelined)
+            sp.count(total_cycles=result.total_cycles,
+                     layers=len(result.layers))
+        return result
+
+    def _schedule_inference(self, workload: Workload, batch: int,
+                            pipelined: bool) -> ScheduleResult:
         timeline: List[LayerSchedule] = []
         cursor = 0.0
         per_layer = []
@@ -140,6 +150,15 @@ class SIMTScheduler:
                           batch: int = 1) -> ScheduleResult:
         """Backward timeline over the learnable layers (reverse order):
         error propagation then gradient per layer, on transposed buffers."""
+        with get_tracer().span("sched.backward", workload=workload.name,
+                               batch=batch) as sp:
+            result = self._schedule_backward(workload, batch)
+            sp.count(total_cycles=result.total_cycles,
+                     layers=len(result.layers))
+        return result
+
+    def _schedule_backward(self, workload: Workload,
+                           batch: int) -> ScheduleResult:
         timeline: List[LayerSchedule] = []
         cursor = 0.0
         for layer in reversed([l for l in workload.layers if l.learnable]):

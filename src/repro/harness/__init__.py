@@ -16,6 +16,8 @@ from .endurance import build_endurance, render_endurance
 from .fig7 import build_fig7, fig7_designs, render_fig7
 from .figures import render_fig7_chart, render_fig8_chart
 from .fig8 import build_fig8, fig8_configs, render_fig8
+from .reporting import (begin_trace, finish_trace, harness_cli,
+                        render_trace_summary)
 from .table1 import Table1Config, render_table1, run_table1
 from .table2 import build_table2, render_table2
 
@@ -27,4 +29,5 @@ __all__ = [
     "build_endurance", "render_endurance",
     "build_ablations", "render_ablations",
     "render_fig7_chart", "render_fig8_chart",
+    "begin_trace", "finish_trace", "harness_cli", "render_trace_summary",
 ]

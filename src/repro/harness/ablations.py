@@ -27,8 +27,10 @@ from ..core.fault_injection import gemm_error_study
 from ..core.workload import Workload, paper_workload
 from ..core.write_verify import WriteVerifyController
 from ..energy.sensing import margin_study
+from ..obs import get_tracer
 from ..sparsity import NMPattern, compute_nm_mask, permutation_gain
-from .reporting import format_table, save_json
+from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
+                        save_json)
 
 PATTERNS = [NMPattern(1, 16), NMPattern(1, 8), NMPattern(2, 8),
             NMPattern(1, 4), NMPattern(2, 4)]
@@ -107,13 +109,20 @@ def fault_robustness(seed: int = 0) -> list:
 
 def build_ablations(workload: Optional[Workload] = None) -> Dict:
     workload = workload or paper_workload()
-    return {
-        "pattern_sweep": pattern_sweep(workload),
-        "permutation": permutation_study(),
-        "write_verify": write_verify_sweep(),
-        "sensing": margin_study(),
-        "fault_robustness": fault_robustness(),
-    }
+    tracer = get_tracer()
+    result: Dict = {}
+    studies = (
+        ("pattern_sweep", lambda: pattern_sweep(workload)),
+        ("permutation", permutation_study),
+        ("write_verify", write_verify_sweep),
+        ("sensing", margin_study),
+        ("fault_robustness", fault_robustness),
+    )
+    with tracer.span("ablations.build", workload=workload.name):
+        for key, study in studies:
+            with tracer.span(f"ablations.{key}"):
+                result[key] = study()
+    return result
 
 
 def render_ablations(result: Dict) -> str:
@@ -153,12 +162,16 @@ def render_ablations(result: Dict) -> str:
     return "\n".join(out)
 
 
-def main(json_path: Optional[str] = None) -> Dict:
+def main(json_path: Optional[str] = None,
+         trace_path: Optional[str] = None) -> Dict:
+    begin_trace(trace_path)
     result = build_ablations()
     print(render_ablations(result))
     save_json(result, json_path)
+    finish_trace(trace_path)
     return result
 
 
 if __name__ == "__main__":
-    main()
+    _args = harness_cli("ablations")
+    main(json_path=_args.json, trace_path=_args.trace)

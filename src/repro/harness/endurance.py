@@ -19,36 +19,41 @@ from ..core.designs import DenseCIMDesign, HybridSparseDesign
 from ..core.workload import Workload, paper_workload
 from ..energy.endurance import (tasks_until_failure, training_lifetime_study)
 from ..energy.rram import compare_nvm_write_cost, rram_technology
+from ..obs import get_tracer
 from ..sparsity.nm import NMPattern
-from .reporting import format_table, save_json
+from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
+                        save_json)
 
 
 def build_endurance(workload: Optional[Workload] = None) -> Dict:
     workload = workload or paper_workload()
+    tracer = get_tracer()
 
     lifetime_rows = []
-    for report in training_lifetime_study(workload):
-        tasks = tasks_until_failure(report)
-        lifetime_rows.append({
-            "config": report.config,
-            "memory": report.memory,
-            "steps_to_failure": report.steps_to_failure,
-            "tasks_to_failure": tasks,
-        })
+    with tracer.span("endurance.lifetime", workload=workload.name):
+        for report in training_lifetime_study(workload):
+            tasks = tasks_until_failure(report)
+            lifetime_rows.append({
+                "config": report.config,
+                "memory": report.memory,
+                "steps_to_failure": report.steps_to_failure,
+                "tasks_to_failure": tasks,
+            })
 
     # Portability: the same hybrid design with RRAM as the NVM.
     rram_write, mram_write = compare_nvm_write_cost()
     tech = rram_technology()
     edp_rows = []
-    ref = HybridSparseDesign(NMPattern(1, 8)).training_step(workload).edp_js
-    for label, design in [
-            ("Hybrid 1:8 (MRAM NVM)", HybridSparseDesign(NMPattern(1, 8))),
-            ("Hybrid 1:8 (RRAM NVM)",
-             HybridSparseDesign(NMPattern(1, 8), tech=tech)),
-            ("Dense RRAM finetune-all",
-             DenseCIMDesign("mram", "all", tech=tech, name="dense-rram"))]:
-        perf = design.training_step(workload)
-        edp_rows.append({"design": label, "edp_rel": perf.edp_js / ref})
+    with tracer.span("endurance.rram_portability"):
+        ref = HybridSparseDesign(NMPattern(1, 8)).training_step(workload).edp_js
+        for label, design in [
+                ("Hybrid 1:8 (MRAM NVM)", HybridSparseDesign(NMPattern(1, 8))),
+                ("Hybrid 1:8 (RRAM NVM)",
+                 HybridSparseDesign(NMPattern(1, 8), tech=tech)),
+                ("Dense RRAM finetune-all",
+                 DenseCIMDesign("mram", "all", tech=tech, name="dense-rram"))]:
+            perf = design.training_step(workload)
+            edp_rows.append({"design": label, "edp_rel": perf.edp_js / ref})
 
     return {
         "workload": workload.name,
@@ -76,12 +81,16 @@ def render_endurance(result: Dict) -> str:
     return "\n".join(out)
 
 
-def main(json_path: Optional[str] = None) -> Dict:
+def main(json_path: Optional[str] = None,
+         trace_path: Optional[str] = None) -> Dict:
+    begin_trace(trace_path)
     result = build_endurance()
     print(render_endurance(result))
     save_json(result, json_path)
+    finish_trace(trace_path)
     return result
 
 
 if __name__ == "__main__":
-    main()
+    _args = harness_cli("endurance")
+    main(json_path=_args.json, trace_path=_args.trace)

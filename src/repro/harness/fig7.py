@@ -17,8 +17,10 @@ from typing import Dict, List, Optional
 
 from ..core.designs import DenseCIMDesign, HybridSparseDesign
 from ..core.workload import Workload, paper_workload
+from ..obs import get_tracer
 from ..sparsity.nm import NMPattern
-from .reporting import format_table, save_json
+from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
+                        save_json)
 
 #: Paper-reported approximate values (read off the figure) for shape checks.
 PAPER_AREA_REL = {"SRAM[29]": 1.0, "MRAM[30]": 0.48,
@@ -38,22 +40,29 @@ def fig7_designs(workload: Optional[Workload] = None):
 def build_fig7(workload: Optional[Workload] = None) -> Dict:
     workload = workload or paper_workload()
     designs = fig7_designs(workload)
+    tracer = get_tracer()
 
     rows: List[Dict] = []
-    for label, design in designs:
-        area = design.area(workload)
-        perf = design.inference(workload)
-        e = perf.energy
-        rows.append({
-            "design": label,
-            "area_mm2": area.total_mm2,
-            "power_mw": perf.avg_power_mw,
-            "leakage_power_mw": e.leakage_pj / max(e.total_pj, 1e-30)
-            * perf.avg_power_mw,
-            "read_power_mw": e.read_pj / max(e.total_pj, 1e-30)
-            * perf.avg_power_mw,
-            "latency_s": perf.latency_s,
-        })
+    with tracer.span("fig7.build", workload=workload.name):
+        for label, design in designs:
+            with tracer.span("fig7.design", design=label,
+                             phase="inference") as sp:
+                area = design.area(workload)
+                perf = design.inference(workload)
+                e = perf.energy
+                rows.append({
+                    "design": label,
+                    "area_mm2": area.total_mm2,
+                    "power_mw": perf.avg_power_mw,
+                    "leakage_power_mw": e.leakage_pj / max(e.total_pj, 1e-30)
+                    * perf.avg_power_mw,
+                    "read_power_mw": e.read_pj / max(e.total_pj, 1e-30)
+                    * perf.avg_power_mw,
+                    "latency_s": perf.latency_s,
+                    "energy_pj": e.total_pj,
+                })
+                sp.count(latency_s=perf.latency_s, energy_pj=e.total_pj,
+                         area_mm2=area.total_mm2)
 
     ref_area = rows[0]["area_mm2"]
     ref_power = rows[0]["power_mw"]
@@ -78,13 +87,17 @@ def render_fig7(result: Dict) -> str:
         title=f"Fig. 7 — power & area vs SRAM[29]  ({result['workload']})")
 
 
-def main(json_path: Optional[str] = None) -> Dict:
+def main(json_path: Optional[str] = None,
+         trace_path: Optional[str] = None) -> Dict:
+    begin_trace(trace_path)
     result = build_fig7()
     print(render_fig7(result))
     print("\nPaper reference (area, rel):", result["paper_area_rel"])
     save_json(result, json_path)
+    finish_trace(trace_path)
     return result
 
 
 if __name__ == "__main__":
-    main()
+    _args = harness_cli("fig7")
+    main(json_path=_args.json, trace_path=_args.trace)

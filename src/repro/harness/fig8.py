@@ -22,8 +22,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.designs import DenseCIMDesign, HybridSparseDesign
 from ..core.workload import Workload, paper_workload
+from ..obs import get_tracer
 from ..sparsity.nm import NMPattern
-from .reporting import format_table, save_json
+from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
+                        save_json)
 
 
 def fig8_configs() -> List[Tuple[str, str, object]]:
@@ -46,17 +48,24 @@ def build_fig8(workload: Optional[Workload] = None, batch: int = 32) -> Dict:
     workload = workload or paper_workload()
     configs = fig8_configs()
 
+    tracer = get_tracer()
     rows: List[Dict] = []
-    for label, group, design in configs:
-        perf = design.training_step(workload, batch=batch)
-        rows.append({
-            "design": label,
-            "group": group,
-            "edp_js": perf.edp_js,
-            "energy_mj": perf.energy_j * 1e3,
-            "latency_ms": perf.latency_s * 1e3,
-            "write_energy_mj": perf.energy.write_pj * 1e-9,
-        })
+    with tracer.span("fig8.build", workload=workload.name, batch=batch):
+        for label, group, design in configs:
+            with tracer.span("fig8.design", design=label, group=group,
+                             phase="training_step") as sp:
+                perf = design.training_step(workload, batch=batch)
+                rows.append({
+                    "design": label,
+                    "group": group,
+                    "edp_js": perf.edp_js,
+                    "energy_mj": perf.energy_j * 1e3,
+                    "latency_ms": perf.latency_s * 1e3,
+                    "write_energy_mj": perf.energy.write_pj * 1e-9,
+                })
+                sp.count(latency_s=perf.latency_s,
+                         energy_pj=perf.energy.total_pj,
+                         edp_js=perf.edp_js)
 
     ref = rows[-1]["edp_js"]  # Ours (1:8)
     for row in rows:
@@ -76,12 +85,16 @@ def render_fig8(result: Dict) -> str:
               f"batch={result['batch']})")
 
 
-def main(json_path: Optional[str] = None) -> Dict:
+def main(json_path: Optional[str] = None,
+         trace_path: Optional[str] = None) -> Dict:
+    begin_trace(trace_path)
     result = build_fig8()
     print(render_fig8(result))
     save_json(result, json_path)
+    finish_trace(trace_path)
     return result
 
 
 if __name__ == "__main__":
-    main()
+    _args = harness_cli("fig8")
+    main(json_path=_args.json, trace_path=_args.trace)

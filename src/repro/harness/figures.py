@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from .fig7 import build_fig7
 from .fig8 import build_fig8
+from .reporting import begin_trace, finish_trace, harness_cli
 
 BAR_WIDTH = 48
 
@@ -85,11 +86,14 @@ def render_fig8_chart(result: Optional[Dict] = None) -> str:
     return "\n".join(out)
 
 
-def main() -> None:
+def main(trace_path: Optional[str] = None) -> None:
+    begin_trace(trace_path)
     print(render_fig7_chart())
     print()
     print(render_fig8_chart())
+    finish_trace(trace_path)
 
 
 if __name__ == "__main__":
-    main()
+    _args = harness_cli("figures")
+    main(trace_path=_args.trace)

@@ -1,10 +1,13 @@
-"""Shared result-rendering helpers for the experiment harness."""
+"""Shared result-rendering and CLI helpers for the experiment harness."""
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 from typing import Dict, List, Optional, Sequence
+
+from .. import obs
 
 
 def format_table(headers: Sequence[str], rows: List[Sequence[object]],
@@ -55,3 +58,61 @@ def normalize(values: Sequence[float], reference: float) -> List[float]:
     if reference == 0:
         raise ValueError("cannot normalize to a zero reference")
     return [v / reference for v in values]
+
+
+# ---------------------------------------------------------------------------
+# Observability plumbing shared by every harness entry point
+# ---------------------------------------------------------------------------
+
+def harness_cli(name: str, argv: Optional[List[str]] = None,
+                fast_flag: bool = False) -> argparse.Namespace:
+    """The common ``python -m repro.harness.<name>`` argument surface:
+    ``--json out.json`` (structured result) and ``--trace out.json``
+    (Chrome trace-event export of the instrumented run)."""
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.harness.{name}",
+        description=f"Run the {name} study.")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the structured result to this JSON path")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="enable span tracing and write a Chrome "
+                             "trace_events file (chrome://tracing) here")
+    if fast_flag:
+        parser.add_argument("--fast", action="store_true",
+                            help="use the quick test budget")
+    return parser.parse_args(argv)
+
+
+def begin_trace(trace_path: Optional[str]) -> bool:
+    """Enable the global tracer for a traced harness run (fresh span list)."""
+    if trace_path is None:
+        return False
+    obs.configure(enabled=True, reset=True)
+    return True
+
+
+def finish_trace(trace_path: Optional[str]) -> None:
+    """Export the accumulated spans to ``trace_path`` + print the summary."""
+    if trace_path is None:
+        return
+    path = obs.write_chrome_trace(trace_path)
+    print()
+    print(render_trace_summary())
+    print(f"\ntrace: {path} ({len(obs.get_tracer().finished_spans())} spans; "
+          "open in chrome://tracing or ui.perfetto.dev)")
+
+
+def render_trace_summary(tracer=None) -> str:
+    """The flat per-phase table of :func:`repro.obs.summarize`."""
+    summary = obs.summarize(tracer)
+    rows = []
+    for entry in summary["spans"]:
+        counters = entry["counters"]
+        shown = ", ".join(f"{k}={_fmt(float(v))}"
+                          for k, v in sorted(counters.items())[:4])
+        if len(counters) > 4:
+            shown += f", +{len(counters) - 4} more"
+        rows.append([entry["name"], entry["count"],
+                     entry["wall_ns"] / 1e6, shown])
+    return format_table(["Span", "Count", "Wall (ms)", "Counters (summed)"],
+                        rows, title="Trace summary — spans by phase")

@@ -26,7 +26,6 @@ configuration used by tests).
 from __future__ import annotations
 
 import dataclasses
-import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -40,9 +39,11 @@ from ..quant import quantize_model_ptq
 from ..repnet.backbone import BackboneClassifier
 from ..repnet.continual import (ContinualLearner, TrainConfig, evaluate,
                                 pretrain_backbone)
+from ..obs import get_tracer
 from ..repnet.model import RepNetModel, build_repnet_model
 from ..sparsity import NMPattern, prune_model
-from .reporting import format_table, save_json
+from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
+                        save_json)
 
 
 @dataclasses.dataclass
@@ -188,13 +189,17 @@ def _backbone_accuracy(model: RepNetModel, head_w, head_b,
 def run_table1(config: Optional[Table1Config] = None) -> Dict:
     """Execute the full Table 1 study; returns a structured result dict."""
     config = config or Table1Config()
-    t0 = time.time()
+    tracer = get_tracer()
+    # Monotonic clock for every elapsed-time report: wall-clock time.time()
+    # jumps under NTP steps, which lint rule R4 rejects for durations.
+    t0 = time.perf_counter()
 
-    (backbone_state, head_w, head_b, base_acc, base_test,
-     base_spec) = _pretrain(config)
+    with tracer.span("table1.pretrain"):
+        (backbone_state, head_w, head_b, base_acc, base_test,
+         base_spec) = _pretrain(config)
     if config.verbose:
         print(f"[table1] backbone pre-trained: acc={base_acc:.3f} "
-              f"({time.time() - t0:.0f}s)")
+              f"({time.perf_counter() - t0:.0f}s)")
 
     task_data = {name: load_downstream_task(name, seed=config.seed + 1,
                                             image_size=config.image_size,
@@ -207,11 +212,13 @@ def run_table1(config: Optional[Table1Config] = None) -> Dict:
     sparse_states: Dict[str, Dict] = {}
     for _, pattern, _ in TABLE1_ROWS:
         if pattern is not None and str(pattern) not in sparse_states:
-            sparse_states[str(pattern)] = _recovered_sparse_state(
-                config, backbone_state, head_w, head_b, base_train, pattern)
+            with tracer.span("table1.recover_sparse", pattern=str(pattern)):
+                sparse_states[str(pattern)] = _recovered_sparse_state(
+                    config, backbone_state, head_w, head_b, base_train,
+                    pattern)
             if config.verbose:
                 print(f"[table1] recovered sparse backbone {pattern} "
-                      f"({time.time() - t0:.0f}s)")
+                      f"({time.perf_counter() - t0:.0f}s)")
 
     rows: List[Dict] = []
     for label, pattern, int8 in TABLE1_ROWS:
@@ -219,35 +226,42 @@ def run_table1(config: Optional[Table1Config] = None) -> Dict:
                      "pattern": str(pattern) if pattern else "dense",
                      "precision": "INT8" if int8 else "FP32"}
 
-        probe = _variant_model(config, backbone_state, pattern, int8,
-                               sparse_states)
-        row["backbone@base"] = _backbone_accuracy(
-            probe, head_w, head_b, base_test, base_spec.num_classes,
-            config.batch_size)
-
-        for task in config.tasks:
-            # Fresh Rep-Net path per task, as in the paper (each downstream
-            # task is learned independently from the deployed backbone).
-            model = _variant_model(config, backbone_state, pattern, int8,
+        with tracer.span("table1.row", config=label) as row_span:
+            probe = _variant_model(config, backbone_state, pattern, int8,
                                    sparse_states)
-            learner = ContinualLearner(model, pattern=pattern, int8=int8)
-            train_set, test_set = task_data[task]
-            task_cfg = TrainConfig(epochs=config.task_epochs,
-                                   batch_size=config.batch_size,
-                                   lr=config.task_lr, seed=config.seed,
-                                   verbose=False)
-            result = learner.learn_task(task, train_set, test_set, task_cfg)
-            row[task] = result.accuracy
-            if config.verbose:
-                print(f"[table1] {label:28s} {task:10s} "
-                      f"acc={result.accuracy:.3f} ({time.time() - t0:.0f}s)")
+            row["backbone@base"] = _backbone_accuracy(
+                probe, head_w, head_b, base_test, base_spec.num_classes,
+                config.batch_size)
+
+            for task in config.tasks:
+                # Fresh Rep-Net path per task, as in the paper (each
+                # downstream task is learned independently from the
+                # deployed backbone).
+                with tracer.span("table1.task", config=label, task=task):
+                    model = _variant_model(config, backbone_state, pattern,
+                                           int8, sparse_states)
+                    learner = ContinualLearner(model, pattern=pattern,
+                                               int8=int8)
+                    train_set, test_set = task_data[task]
+                    task_cfg = TrainConfig(epochs=config.task_epochs,
+                                           batch_size=config.batch_size,
+                                           lr=config.task_lr,
+                                           seed=config.seed, verbose=False)
+                    result = learner.learn_task(task, train_set, test_set,
+                                                task_cfg)
+                row[task] = result.accuracy
+                row_span.count(tasks=1)
+                if config.verbose:
+                    print(f"[table1] {label:28s} {task:10s} "
+                          f"acc={result.accuracy:.3f} "
+                          f"({time.perf_counter() - t0:.0f}s)")
         rows.append(row)
 
     return {
         "base_accuracy_dense": base_acc,
         "tasks": list(config.tasks),
         "rows": rows,
-        "elapsed_s": time.time() - t0,
+        "elapsed_s": time.perf_counter() - t0,
         "config": dataclasses.asdict(config),
     }
 
@@ -264,15 +278,19 @@ def render_table1(result: Dict) -> str:
                         title="Table 1 — Accuracy Evaluation (synthetic analogues)")
 
 
-def main(json_path: Optional[str] = None, fast: bool = False) -> Dict:
+def main(json_path: Optional[str] = None, fast: bool = False,
+         trace_path: Optional[str] = None) -> Dict:
     config = Table1Config.fast() if fast else Table1Config()
     config.verbose = True
+    begin_trace(trace_path)
     result = run_table1(config)
     print(render_table1(result))
     print(f"\nelapsed: {result['elapsed_s']:.0f}s")
     save_json(result, json_path)
+    finish_trace(trace_path)
     return result
 
 
 if __name__ == "__main__":
-    main(fast="--fast" in sys.argv)
+    _args = harness_cli("table1", fast_flag=True)
+    main(json_path=_args.json, fast=_args.fast, trace_path=_args.trace)

@@ -13,11 +13,18 @@ from typing import Dict, Optional
 
 from ..energy.mtj import MTJ, MTJParams, table2_write_energy_check
 from ..energy.tech import DEFAULT_TECH, TechnologyModel
-from .reporting import format_table, save_json
+from ..obs import get_tracer
+from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
+                        save_json)
 
 
 def build_table2(tech: TechnologyModel = DEFAULT_TECH) -> Dict:
     """Structured Table 2 content (paper values are the spec fields)."""
+    with get_tracer().span("table2.build"):
+        return _build_table2(tech)
+
+
+def _build_table2(tech: TechnologyModel) -> Dict:
     s, m = tech.sram, tech.mram
     modelled_write, paper_write = table2_write_energy_check()
     mtj = MTJ(MTJParams())
@@ -88,12 +95,16 @@ def render_table2(result: Optional[Dict] = None) -> str:
     return "\n".join(out)
 
 
-def main(json_path: Optional[str] = None) -> Dict:
+def main(json_path: Optional[str] = None,
+         trace_path: Optional[str] = None) -> Dict:
+    begin_trace(trace_path)
     result = build_table2()
     print(render_table2(result))
     save_json(result, json_path)
+    finish_trace(trace_path)
     return result
 
 
 if __name__ == "__main__":
-    main()
+    _args = harness_cli("table2")
+    main(json_path=_args.json, trace_path=_args.trace)

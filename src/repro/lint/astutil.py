@@ -23,6 +23,17 @@ def numpy_aliases(tree: ast.AST) -> Set[str]:
     return out
 
 
+def module_aliases(tree: ast.AST, module: str) -> Set[str]:
+    """Names bound to module ``module`` itself (``import time as t``)."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    out.add(alias.asname or module)
+    return out
+
+
 def numpy_random_aliases(tree: ast.AST) -> Set[str]:
     """Names bound to the ``numpy.random`` module.
 

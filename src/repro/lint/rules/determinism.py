@@ -12,15 +12,23 @@ flags the two leaks that break that chain:
 
 Constructing Generators/BitGenerators with an explicit seed
 (``default_rng(0)``, ``PCG64(seed)``) is the sanctioned pattern.
+
+R4 also polices the *clock* half of reproducible measurement:
+``time.time()`` is wall-clock — NTP slews and DST shifts make differences
+of two readings meaningless as durations.  A ``time.time()`` call that
+feeds a subtraction (directly, or via a name later used as a subtraction
+operand) is flagged; ``time.perf_counter()`` / ``perf_counter_ns()`` are
+the monotonic replacements.  Plain timestamp uses (log lines, metadata
+fields) are untouched.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Set
 
-from ..astutil import (dotted_name, names_imported_from, numpy_aliases,
-                       numpy_random_aliases)
+from ..astutil import (dotted_name, module_aliases, names_imported_from,
+                       numpy_aliases, numpy_random_aliases)
 from ..findings import Finding
 from ..registry import Rule, register
 
@@ -37,10 +45,15 @@ class DeterminismRule(Rule):
     name = "determinism"
     severity = "error"
     scope = "file"
-    description = ("no legacy np.random.<fn> global-state calls and no "
-                   "argless default_rng() in library code")
+    description = ("no legacy np.random.<fn> global-state calls, no "
+                   "argless default_rng(), and no time.time() used as a "
+                   "duration clock in library code")
 
     def check_file(self, ctx) -> Iterator[Finding]:
+        yield from self._check_numpy_random(ctx)
+        yield from self._check_wall_clock_durations(ctx)
+
+    def _check_numpy_random(self, ctx) -> Iterator[Finding]:
         np_names = numpy_aliases(ctx.tree)
         random_names = numpy_random_aliases(ctx.tree)
         direct = names_imported_from(ctx.tree, "numpy.random")
@@ -79,3 +92,53 @@ class DeterminismRule(Rule):
                     "argless `default_rng()` pulls OS entropy — pass an "
                     "explicit seed (or thread a Generator parameter "
                     "through)")
+
+    def _check_wall_clock_durations(self, ctx) -> Iterator[Finding]:
+        """Flag ``time.time()`` whose reading is used as a duration."""
+        time_mods = module_aliases(ctx.tree, "time")
+        time_fns = names_imported_from(ctx.tree, "time")
+
+        def is_time_time(node: ast.expr) -> bool:
+            if not isinstance(node, ast.Call):
+                return False
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id in time_fns and func.id == "time"
+            dn = dotted_name(func)
+            if dn is None:
+                return False
+            head, _, attr = dn.rpartition(".")
+            return attr == "time" and head in time_mods
+
+        # Names that hold a time.time() reading, and names that feed a
+        # subtraction anywhere in the module.  The intersection is the
+        # "stashed start time" pattern: t0 = time.time(); ... - t0.
+        stash_names: dict = {}
+        sub_operand_names: Set[str] = set()
+        flagged: Set[int] = set()
+        findings = []
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and is_time_time(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        stash_names.setdefault(target.id, node.value)
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                for operand in (node.left, node.right):
+                    if is_time_time(operand):
+                        flagged.add(id(operand))
+                        findings.append((operand.lineno, operand.col_offset))
+                    elif isinstance(operand, ast.Name):
+                        sub_operand_names.add(operand.id)
+
+        for name, call in stash_names.items():
+            if name in sub_operand_names and id(call) not in flagged:
+                flagged.add(id(call))
+                findings.append((call.lineno, call.col_offset))
+
+        for lineno, col in sorted(findings):
+            yield self.finding(
+                ctx.path, lineno, col,
+                "`time.time()` difference is not a duration — wall clock "
+                "is NTP/DST-adjusted; use `time.perf_counter()` (or "
+                "`perf_counter_ns()`) for elapsed time")

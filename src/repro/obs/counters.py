@@ -1,0 +1,61 @@
+"""Counter attachment points: snapshot/delta helpers for span counters.
+
+The span counters are plain ``{name: number}`` dicts; this module turns
+the repo's stats objects into those dicts and computes before/after
+deltas, so an instrumentation site can attribute exactly the events that
+happened *inside* a span:
+
+.. code-block:: python
+
+    before = flatten_stats(accel.stats())
+    ... run the region ...
+    span.count(**counter_delta(before, flatten_stats(accel.stats())))
+
+Everything here is duck-typed on ``as_dict()`` (what
+:class:`repro.core.stats.PEStats` and the energy breakdowns expose), so
+``repro.obs`` stays dependency-free and import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Dict, Mapping
+
+
+def as_counters(obj: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten a stats-like object into a numeric counter dict.
+
+    Accepts mappings, objects with ``as_dict()``, or nested combinations
+    (one level of nesting, e.g. ``{"sram": PEStats, "mram": PEStats}``);
+    non-numeric leaves are dropped.
+    """
+    if hasattr(obj, "as_dict"):
+        obj = obj.as_dict()
+    out: Dict[str, float] = {}
+    if not isinstance(obj, Mapping):
+        return out
+    for key, value in obj.items():
+        name = f"{prefix}{key}"
+        if hasattr(value, "as_dict") or isinstance(value, Mapping):
+            out.update(as_counters(value, prefix=f"{name}."))
+        elif isinstance(value, Number) and not isinstance(value, bool):
+            out[name] = value
+    return out
+
+
+def flatten_stats(stats_by_kind: Mapping[str, object],
+                  prefix: str = "") -> Dict[str, float]:
+    """``{kind: PEStats}`` (the accelerator's ``stats()``) -> flat counters."""
+    return as_counters(stats_by_kind, prefix=prefix)
+
+
+def counter_delta(before: Mapping[str, float],
+                  after: Mapping[str, float]) -> Dict[str, float]:
+    """Per-key ``after - before`` (keys only in ``after`` count from 0)."""
+    return {key: value - before.get(key, 0)
+            for key, value in after.items()}
+
+
+def nonzero(counters: Mapping[str, float]) -> Dict[str, float]:
+    """Drop zero-valued counters (keeps exported span args readable)."""
+    return {k: v for k, v in counters.items() if v}

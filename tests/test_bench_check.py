@@ -1,0 +1,141 @@
+"""Unit suite for the benchmark-regression gate (``repro.bench``).
+
+Exercises the comparator directly (tolerances, direction, missing/new
+metrics, per-metric overrides) and the CLI's exit-code contract via
+``repro.bench.__main__.main`` with a fast model-metrics-only run.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (MODEL_RTOL, TIMING_RTOL, compare_metrics,
+                         render_check_report)
+from repro.bench.__main__ import main as bench_main
+
+
+def doc(metrics):
+    return {"schema": "repro.bench/1", "repeats": 1, "metrics": metrics}
+
+
+def metric(value, kind="model", **extra):
+    return {"value": value, "kind": kind, "unit": "x", **extra}
+
+
+BASELINE = doc({
+    "fig7.hybrid.area_rel": metric(0.37),
+    "timing.kernel.sram_ms": metric(1.0, kind="timing"),
+})
+
+
+class TestCompareMetrics:
+    def test_identical_runs_pass(self):
+        results = compare_metrics(copy.deepcopy(BASELINE), BASELINE)
+        assert all(r.status == "ok" for r in results)
+        assert not any(r.failed for r in results)
+
+    def test_model_drift_beyond_rtol_fails_both_directions(self):
+        for sign in (+1, -1):
+            cur = copy.deepcopy(BASELINE)
+            cur["metrics"]["fig7.hybrid.area_rel"]["value"] *= \
+                1 + sign * 10 * MODEL_RTOL
+            (bad,) = [r for r in compare_metrics(cur, BASELINE) if r.failed]
+            assert bad.name == "fig7.hybrid.area_rel"
+            assert bad.status == "regressed"
+
+    def test_model_drift_within_rtol_passes(self):
+        cur = copy.deepcopy(BASELINE)
+        cur["metrics"]["fig7.hybrid.area_rel"]["value"] *= 1 + MODEL_RTOL / 10
+        assert not any(r.failed for r in compare_metrics(cur, BASELINE))
+
+    def test_timing_regression_is_increase_only(self):
+        slower = copy.deepcopy(BASELINE)
+        slower["metrics"]["timing.kernel.sram_ms"]["value"] = \
+            1.0 * (1 + TIMING_RTOL) * 1.1
+        (bad,) = [r for r in compare_metrics(slower, BASELINE) if r.failed]
+        assert bad.name == "timing.kernel.sram_ms"
+
+        # A faster run is never a regression, however large the change.
+        faster = copy.deepcopy(BASELINE)
+        faster["metrics"]["timing.kernel.sram_ms"]["value"] = 1e-6
+        assert not any(r.failed for r in compare_metrics(faster, BASELINE))
+
+    def test_missing_metric_fails(self):
+        cur = copy.deepcopy(BASELINE)
+        del cur["metrics"]["fig7.hybrid.area_rel"]
+        (bad,) = [r for r in compare_metrics(cur, BASELINE) if r.failed]
+        assert bad.status == "missing"
+        assert bad.name == "fig7.hybrid.area_rel"
+
+    def test_new_metric_is_informational(self):
+        cur = copy.deepcopy(BASELINE)
+        cur["metrics"]["fig7.hybrid.power_rel"] = metric(0.01)
+        results = compare_metrics(cur, BASELINE)
+        assert not any(r.failed for r in results)
+        (new,) = [r for r in results if r.status == "new"]
+        assert new.name == "fig7.hybrid.power_rel"
+
+    def test_per_metric_rtol_and_direction_overrides(self):
+        base = doc({"m": metric(1.0, rtol=0.5, direction="increase")})
+        within = doc({"m": metric(1.4)})
+        assert not any(r.failed for r in compare_metrics(within, base))
+        beyond = doc({"m": metric(1.6)})
+        assert any(r.failed for r in compare_metrics(beyond, base))
+        # increase-only override: a large decrease still passes
+        faster = doc({"m": metric(0.1)})
+        assert not any(r.failed for r in compare_metrics(faster, base))
+
+    def test_zero_baseline_uses_absolute_delta(self):
+        base = doc({"m": metric(0.0)})
+        assert not any(r.failed for r in compare_metrics(
+            doc({"m": metric(0.0)}), base))
+        assert any(r.failed for r in compare_metrics(
+            doc({"m": metric(0.5)}), base))
+
+    def test_report_renders_all_statuses(self):
+        cur = copy.deepcopy(BASELINE)
+        del cur["metrics"]["timing.kernel.sram_ms"]
+        cur["metrics"]["brand.new"] = metric(1.0)
+        text = render_check_report(compare_metrics(cur, BASELINE))
+        assert "FAIL" in text and "OK" in text and "NEW" in text
+
+
+@pytest.mark.slow
+class TestBenchCli:
+    """End-to-end exit codes with a real (model-metrics-only) run."""
+
+    def run_cli(self, tmp_path, baseline_doc, extra=()):
+        base = tmp_path / "baseline.json"
+        base.write_text(json.dumps(baseline_doc))
+        out = tmp_path / "BENCH_harness.json"
+        return bench_main(["--no-timings", "--out", str(out),
+                           "--baseline", str(base), *extra]), out
+
+    def test_check_passes_against_own_output(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_harness.json"
+        assert bench_main(["--no-timings", "--out", str(out),
+                           "--baseline", str(tmp_path / "b.json"),
+                           "--update-baseline"]) == 0
+        produced = json.loads(out.read_text())
+        code, _ = self.run_cli(tmp_path, produced, extra=["--check"])
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_check_fails_on_perturbed_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_harness.json"
+        bench_main(["--no-timings", "--out", str(out),
+                    "--baseline", str(tmp_path / "b.json"),
+                    "--update-baseline"])
+        perturbed = json.loads(out.read_text())
+        name = next(iter(perturbed["metrics"]))
+        perturbed["metrics"][name]["value"] *= 1.5
+        code, _ = self.run_cli(tmp_path, perturbed, extra=["--check"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_without_baseline_errors(self, tmp_path):
+        assert bench_main(["--no-timings",
+                           "--out", str(tmp_path / "o.json"),
+                           "--baseline", str(tmp_path / "absent.json"),
+                           "--check"]) == 2

@@ -163,6 +163,56 @@ class TestR4Determinism:
         assert lint_source(src, self.PATH, codes=["R4"]) == []
 
 
+class TestR4WallClockDurations:
+    PATH = "src/repro/harness/table1.py"
+
+    def test_direct_subtraction_flagged(self):
+        src = ("import time\n"
+               "def f(t0):\n"
+               "    return time.time() - t0\n")
+        (f,) = lint_source(src, self.PATH, codes=["R4"])
+        assert "perf_counter" in f.message
+
+    def test_stashed_start_time_flagged(self):
+        src = ("import time\n"
+               "def f():\n"
+               "    t0 = time.time()\n"
+               "    work()\n"
+               "    return time.time() - t0\n")
+        found = lint_source(src, self.PATH, codes=["R4"])
+        # both the stash (line 3) and the direct subtraction (line 5)
+        assert [f.line for f in found] == [3, 5]
+
+    def test_from_import_and_module_alias_resolved(self):
+        src = ("from time import time\n"
+               "import time as clk\n"
+               "def f():\n"
+               "    start = time()\n"
+               "    return clk.time() - start\n")
+        assert codes(lint_source(src, self.PATH, codes=["R4"])) == \
+            ["R4", "R4"]
+
+    def test_timestamp_use_passes(self):
+        src = ("import time\n"
+               "def stamp():\n"
+               "    return {'created_at': time.time()}\n")
+        assert lint_source(src, self.PATH, codes=["R4"]) == []
+
+    def test_perf_counter_passes(self):
+        src = ("import time\n"
+               "def f():\n"
+               "    t0 = time.perf_counter()\n"
+               "    return time.perf_counter() - t0\n")
+        assert lint_source(src, self.PATH, codes=["R4"]) == []
+
+    def test_line_suppression_honored(self):
+        src = ("import time\n"
+               "def f(t0):\n"
+               "    return time.time() - t0"
+               "  # repro-lint: disable-line=R4\n")
+        assert lint_source(src, self.PATH, codes=["R4"]) == []
+
+
 class TestR5KernelParity:
     TEST_PATH = "tests/test_kernels_differential.py"
 
