@@ -8,6 +8,7 @@ Single entry point over the experiment harness:
     python -m repro fig7 --json out.json    # plus a JSON dump
     python -m repro table1 --fast           # quick accuracy study
     python -m repro all --out results/      # everything except table1-full
+    python -m repro dse --preset smoke      # design-space sweep (repro.dse)
     python -m repro info                    # package overview
 """
 
@@ -18,7 +19,7 @@ import sys
 from typing import List, Optional
 
 EXPERIMENTS = ("table1", "table2", "fig7", "fig8", "figures", "endurance",
-               "ablations", "all", "info")
+               "ablations", "dse", "all", "info")
 
 
 def _run_info() -> None:
@@ -30,6 +31,13 @@ def _run_info() -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "dse":
+        # The sweep engine owns its own (much larger) flag set; forward
+        # everything after the subcommand verbatim.
+        from .dse.__main__ import main as dse_main
+        return dse_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables/figures and the "

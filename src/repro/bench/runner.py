@@ -78,6 +78,39 @@ def collect_model_metrics() -> Dict[str, Dict[str, object]]:
     return metrics
 
 
+def collect_dse_metrics() -> Dict[str, Dict[str, object]]:
+    """Frontier invariants of the smoke design-space sweep (``repro.dse``).
+
+    Serial, cache-less, pure-analytical — bit-stable like every other
+    model metric, so the gate pins the sweep's Pareto reduction end to
+    end: frontier size plus each objective's best value across the
+    frontier.
+    """
+    from ..dse import SMOKE_SPEC, NullCache, run_sweep
+
+    result = run_sweep(spec=SMOKE_SPEC, workers=1, cache=NullCache())
+    frontier = result["frontier"]
+    metrics: Dict[str, Dict[str, object]] = {
+        "dse.smoke.frontier_size": _metric(
+            len(frontier), "model", "configs"),
+        "dse.smoke.errors": _metric(
+            len(result["errors"]), "model", "configs"),
+    }
+    if frontier:
+        values = {k: [r["metrics"][k] for r in frontier]
+                  for k in ("area_mm2", "inference_power_mw",
+                            "training_edp_js", "density")}
+        metrics["dse.smoke.area_mm2_min"] = _metric(
+            min(values["area_mm2"]), "model", "mm2")
+        metrics["dse.smoke.inference_power_mw_min"] = _metric(
+            min(values["inference_power_mw"]), "model", "mW")
+        metrics["dse.smoke.training_edp_js_min"] = _metric(
+            min(values["training_edp_js"]), "model", "Js")
+        metrics["dse.smoke.density_max"] = _metric(
+            max(values["density"]), "model", "frac")
+    return metrics
+
+
 # ---------------------------------------------------------------------------
 # Timing metrics (machine-dependent)
 # ---------------------------------------------------------------------------
@@ -160,6 +193,8 @@ def run_bench(repeats: int = DEFAULT_REPEATS,
     metrics: Dict[str, Dict[str, object]] = {}
     with tracer.span("bench.model_metrics"):
         metrics.update(collect_model_metrics())
+    with tracer.span("bench.dse_metrics"):
+        metrics.update(collect_dse_metrics())
     if include_timings:
         with tracer.span("bench.timing_metrics", repeats=repeats):
             metrics.update(collect_timing_metrics(repeats=repeats))

@@ -54,34 +54,16 @@ class DesignPoint:
         better = any(mine[k] < theirs[k] - 1e-15 for k in mine)
         return no_worse and better
 
+    def metric_vector(self) -> tuple:
+        """The objective values in a fixed order (duplicate detection)."""
+        m = self.metrics()
+        return tuple(m[k] for k in sorted(m))
 
-def _hybrid_with_bus(pattern: NMPattern, bus_bits: int) -> HybridSparseDesign:
-    """A hybrid design variant with a custom activation-bus width."""
-    design = HybridSparseDesign(pattern)
-    # HybridSparseDesign reads DenseCIMDesign.ACTIVATION_BUS_BITS through its
-    # cycle helpers; install per-point replacements that use ``bus_bits``
-    # instead, so sweeps don't mutate shared class state.
-
-    def learnable2(layer, fwd_pes):
-        import math
-        bus = layer.in_dim * 8.0 / bus_bits
-        tiles = max(1, math.ceil(design._layer_pairs(layer)
-                                 / design.SRAM_PE_PAIRS))
-        serialization = math.ceil(tiles / max(1, fwd_pes))
-        return max(serialization * design.pattern.m * 8.0, bus)
-
-    def frozen2(layer):
-        import math
-        from .mram_pe import PIPELINE_DEPTH
-        bus = layer.in_dim * 8.0 / bus_bits
-        pairs = design._layer_pairs(layer)
-        arrays = max(1, math.ceil(pairs / design._mram_array_pairs))
-        rows = math.ceil(pairs / (arrays * design._mram_pairs_per_row))
-        return max((rows + PIPELINE_DEPTH - 1) * 8.0, bus)
-
-    design._learnable_vector_cycles = learnable2
-    design._frozen_vector_cycles = frozen2
-    return design
+    def sort_key(self) -> tuple:
+        """Canonical total order: objectives first, then the config levers
+        as the tie-break — so equal-metric duplicates have a stable,
+        input-order-independent representative."""
+        return self.metric_vector() + (self.pattern, self.bus_bits)
 
 
 def sweep(workload: Optional[Workload] = None,
@@ -93,7 +75,7 @@ def sweep(workload: Optional[Workload] = None,
     points: List[DesignPoint] = []
     for pattern in patterns:
         for bus in bus_widths:
-            design = _hybrid_with_bus(pattern, bus)
+            design = HybridSparseDesign(pattern, bus_bits=bus)
             points.append(DesignPoint(
                 pattern=str(pattern),
                 bus_bits=bus,
@@ -106,10 +88,27 @@ def sweep(workload: Optional[Workload] = None,
 
 
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
-    """The non-dominated subset, sorted by area."""
-    front = [p for p in points
-             if not any(q.dominates(p) for q in points if q is not p)]
-    return sorted(front, key=lambda p: p.area_mm2)
+    """The non-dominated subset, sorted by area.
+
+    Tie handling: points with *identical* metric vectors do not dominate
+    each other, so a naive filter would keep every duplicate (and a
+    strict-dominance variant would keep none).  Here exactly one canonical
+    representative survives per duplicated vector — the first in
+    :meth:`DesignPoint.sort_key` order — so the front is a function of the
+    point *set*, not of the input ordering.
+    """
+    ordered = sorted(points, key=DesignPoint.sort_key)
+    front: List[DesignPoint] = []
+    seen: set = set()
+    for p in ordered:
+        if any(q.dominates(p) for q in ordered if q is not p):
+            continue
+        vec = p.metric_vector()
+        if vec in seen:
+            continue
+        seen.add(vec)
+        front.append(p)
+    return sorted(front, key=lambda p: (p.area_mm2,) + p.sort_key())
 
 
 def explore(workload: Optional[Workload] = None,

@@ -91,7 +91,8 @@ class DenseCIMDesign:
     ACTIVATION_BUS_BITS = 128
 
     def __init__(self, kind: str, update_scope: str = "all",
-                 tech: TechnologyModel = DEFAULT_TECH, name: str = ""):
+                 tech: TechnologyModel = DEFAULT_TECH, name: str = "",
+                 bus_bits: Optional[int] = None):
         if kind not in ("sram", "mram"):
             raise ValueError(f"unknown memory kind {kind!r}")
         if update_scope not in ("all", "learnable"):
@@ -102,6 +103,12 @@ class DenseCIMDesign:
         self.cost = CostModel(tech)
         self.area_model = AreaModel(tech)
         self.name = name or f"dense-{kind}"
+        #: Per-instance activation-bus width; defaults to the class-level
+        #: ACTIVATION_BUS_BITS so subclass overrides keep working.
+        self.bus_bits = (self.ACTIVATION_BUS_BITS if bus_bits is None
+                         else int(bus_bits))
+        if self.bus_bits <= 0:
+            raise ValueError(f"bus_bits must be positive, got {bus_bits}")
 
     # ------------------------------------------------------------------ area
     def provisioned_arrays(self, workload: Workload) -> int:
@@ -116,7 +123,7 @@ class DenseCIMDesign:
     # ------------------------------------------------------------- inference
     def _layer_vector_cycles(self, layer: LayerWorkload) -> float:
         """Cycles to stream one activation vector through ``layer``."""
-        bus_cycles = layer.in_dim * 8.0 / self.ACTIVATION_BUS_BITS
+        bus_cycles = layer.in_dim * 8.0 / self.bus_bits
         if self.kind == "sram":
             tiles = max(1, math.ceil(layer.weights / self.SRAM_ARRAY_WEIGHTS))
             serialization = math.ceil(tiles / self.PARALLEL_ARRAY_CAP)
@@ -224,14 +231,26 @@ class HybridSparseDesign:
     REFERENCE_DENSITY = 1.0 / 8.0
 
     def __init__(self, pattern: NMPattern,
-                 tech: TechnologyModel = DEFAULT_TECH, name: str = ""):
+                 tech: TechnologyModel = DEFAULT_TECH, name: str = "",
+                 bus_bits: Optional[int] = None):
         self.pattern = pattern
         self.tech = tech
         self.cost = CostModel(tech)
         self.area_model = AreaModel(tech)
         self.name = name or f"hybrid-{pattern}"
+        #: Shared activation-bus width; the hybrid competes on the same bus
+        #: as the dense baselines unless a sweep overrides it per point.
+        self.bus_bits = (DenseCIMDesign.ACTIVATION_BUS_BITS if bus_bits is None
+                         else int(bus_bits))
+        if self.bus_bits <= 0:
+            raise ValueError(f"bus_bits must be positive, got {bus_bits}")
         self._mram_pairs_per_row = tech.mram.row_bits // (
             tech.mram.weight_bits + tech.mram.index_bits)
+        if self._mram_pairs_per_row < 1:
+            raise ValueError(
+                f"MRAM row ({tech.mram.row_bits} bits) cannot hold one "
+                f"(weight, index) pair at {tech.mram.weight_bits}+"
+                f"{tech.mram.index_bits} bits")
         self._mram_array_pairs = tech.mram.rows * self._mram_pairs_per_row
 
     # --------------------------------------------------------------- sizing
@@ -241,7 +260,9 @@ class HybridSparseDesign:
 
     def sram_storage_bits(self, workload: Workload) -> int:
         """Compressed Rep-Net weight storage resident in SRAM."""
-        return workload.compressed_bits(self.pattern, scope="learnable")
+        return workload.compressed_bits(
+            self.pattern, weight_bits=self.tech.sram.weight_bits,
+            index_bits=self.tech.sram.index_bits, scope="learnable")
 
     def sram_fwd_pe_count(self, workload: Workload) -> int:
         """Forward-direction SRAM compute PEs (paper Sec. 4: bounded by the
@@ -262,7 +283,9 @@ class HybridSparseDesign:
         return max(1, math.ceil(frozen_pairs / self._mram_array_pairs))
 
     def backbone_compressed_bits(self, workload: Workload) -> int:
-        return workload.compressed_bits(self.pattern, scope="frozen")
+        return workload.compressed_bits(
+            self.pattern, weight_bits=self.tech.mram.weight_bits,
+            index_bits=self.tech.mram.index_bits, scope="frozen")
 
     def area(self, workload: Workload) -> AreaReport:
         return self.area_model.hybrid_design_area(
@@ -272,7 +295,7 @@ class HybridSparseDesign:
 
     # ------------------------------------------------------------- inference
     def _frozen_vector_cycles(self, layer: LayerWorkload) -> float:
-        bus_cycles = layer.in_dim * 8.0 / DenseCIMDesign.ACTIVATION_BUS_BITS
+        bus_cycles = layer.in_dim * 8.0 / self.bus_bits
         pairs = self._layer_pairs(layer)
         arrays = max(1, math.ceil(pairs / self._mram_array_pairs))
         rows = math.ceil(pairs / (arrays * self._mram_pairs_per_row))
@@ -280,7 +303,7 @@ class HybridSparseDesign:
 
     def _learnable_vector_cycles(self, layer: LayerWorkload,
                                  fwd_pes: int) -> float:
-        bus_cycles = layer.in_dim * 8.0 / DenseCIMDesign.ACTIVATION_BUS_BITS
+        bus_cycles = layer.in_dim * 8.0 / self.bus_bits
         tiles = max(1, math.ceil(self._layer_pairs(layer) / self.SRAM_PE_PAIRS))
         serialization = math.ceil(tiles / max(1, fwd_pes))
         return max(serialization * self.pattern.m * 8.0, bus_cycles)

@@ -1,0 +1,116 @@
+"""Per-point evaluator: one normalized config -> one metric record.
+
+This is the reentrant library form of the fig7/fig8-style analytical
+evaluation: build the technology variant the config names, instantiate the
+hybrid design at the config's pattern/bus width, and charge the paper
+workload through the same area/latency/energy models the harnesses use.
+Pure function of its input — no global state, no clocks, no randomness —
+so shards evaluated in any process, in any order, produce bit-identical
+records, and the content-hash cache can treat the record as a function of
+the config alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from ..core.designs import HybridSparseDesign
+from ..core.workload import Workload, paper_workload
+from ..energy.tech import DEFAULT_TECH, TechnologyModel
+from ..sparsity.nm import NMPattern
+from .spec import DEVICE_CORNERS, config_key, normalize_config
+
+#: Schema tag stamped into every evaluation record.
+RECORD_SCHEMA = "repro.dse/record/1"
+
+#: Metric keys every successful record carries, in canonical order.
+METRIC_KEYS = ("area_mm2", "density", "inference_latency_s",
+               "inference_power_mw", "training_edp_js", "training_latency_s")
+
+#: Per-process workload cache: paper-scale extraction is cheap but not free,
+#: and a sharded sweep evaluates thousands of configs per worker.
+_WORKLOADS: Dict[str, Workload] = {}
+
+
+def get_workload(name: str) -> Workload:
+    if name not in _WORKLOADS:
+        if name != "paper":
+            raise ValueError(f"unknown workload {name!r}")
+        _WORKLOADS[name] = paper_workload()
+    return _WORKLOADS[name]
+
+
+def build_tech(config: Mapping[str, object]) -> TechnologyModel:
+    """The technology variant a config names, from the Table 2 defaults.
+
+    Geometry: scaling ``mram_rows`` scales the sub-array storage *and* its
+    Table 2 array area by the same factor, preserving the calibrated
+    µm²/bit density (the periphery constants stay fixed — deeper arrays
+    amortize periphery, which is exactly the lever being studied).
+    Precision: ``weight_bits`` narrows both datapaths' stored operand
+    width (packing + write volumes).  Device: a named corner applies its
+    dotted field overrides.
+    """
+    sram, mram = DEFAULT_TECH.sram, DEFAULT_TECH.mram
+
+    rows = int(config["mram_rows"])
+    if rows < 1:
+        raise ValueError(f"mram_rows must be >= 1, got {rows}")
+    if rows != mram.rows:
+        mram = dataclasses.replace(
+            mram, rows=rows, array_area=mram.array_area * rows / mram.rows)
+
+    bits = int(config["weight_bits"])
+    if not 2 <= bits <= 8:
+        raise ValueError(f"weight_bits {bits} outside the modeled 2..8 range")
+    if bits != sram.weight_bits:
+        sram = dataclasses.replace(sram, weight_bits=bits)
+    if bits != mram.weight_bits:
+        mram = dataclasses.replace(mram, weight_bits=bits)
+
+    device = str(config["device"])
+    if device not in DEVICE_CORNERS:
+        raise ValueError(f"unknown device corner {device!r}")
+    for dotted, value in sorted(DEVICE_CORNERS[device].items()):
+        target, field = dotted.split(".", 1)
+        if target == "sram":
+            sram = dataclasses.replace(sram, **{field: value})
+        elif target == "mram":
+            mram = dataclasses.replace(mram, **{field: value})
+        else:
+            raise ValueError(f"device corner targets unknown spec {target!r}")
+
+    return dataclasses.replace(DEFAULT_TECH, sram=sram, mram=mram)
+
+
+def evaluate_config(config: Mapping[str, object]) -> Dict[str, object]:
+    """Evaluate one design config; returns the canonical record dict.
+
+    Raises on invalid configs — the engine turns exceptions into
+    per-config error records so one bad shard never sinks a sweep.
+    """
+    cfg = normalize_config(config)
+    pattern = NMPattern.parse(str(cfg["pattern"]))
+    tech = build_tech(cfg)
+    workload = get_workload(str(cfg["workload"]))
+    design = HybridSparseDesign(pattern, tech=tech,
+                                bus_bits=int(cfg["bus_bits"]))
+
+    area = design.area(workload)
+    inference = design.inference(workload)
+    training = design.training_step(workload)
+    metrics = {
+        "area_mm2": area.total_mm2,
+        "density": pattern.density,
+        "inference_latency_s": inference.latency_s,
+        "inference_power_mw": inference.avg_power_mw,
+        "training_edp_js": training.edp_js,
+        "training_latency_s": training.latency_s,
+    }
+    return {
+        "schema": RECORD_SCHEMA,
+        "key": config_key(cfg),
+        "config": cfg,
+        "metrics": metrics,
+    }

@@ -1,0 +1,74 @@
+"""Deterministic Pareto reduction over evaluation records.
+
+Objectives (all minimized; density is maximized via sign flip):
+area, inference power, training EDP, negated density — the four axes of
+the ROADMAP's production sweep.
+
+Determinism contract: :func:`pareto_reduce` is a function of the record
+*set* — the result is identical under any input permutation (worker
+count, completion order, cache hit pattern).  Achieved by sorting on the
+signed objective vector with the config content hash as the final
+tie-break, then a single skyline pass.  Tie handling: records whose
+objective vectors are exactly equal keep exactly one canonical
+representative (the first in sort order), never zero, never both.
+Idempotent: ``pareto_reduce(pareto_reduce(x)) == pareto_reduce(x)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: (metric key, sign) — signed values are minimized.
+OBJECTIVES: Tuple[Tuple[str, float], ...] = (
+    ("area_mm2", 1.0),
+    ("inference_power_mw", 1.0),
+    ("training_edp_js", 1.0),
+    ("density", -1.0),
+)
+
+#: The metric keys the frontier is computed over (export metadata).
+OBJECTIVE_KEYS = tuple(key for key, _ in OBJECTIVES)
+
+
+def objective_vector(record: Mapping[str, object]) -> Tuple[float, ...]:
+    """The record's signed (minimize-all) objective values."""
+    metrics = record["metrics"]
+    return tuple(sign * float(metrics[key]) for key, sign in OBJECTIVES)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Vector dominance: ``a`` no worse everywhere, strictly better once."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b))
+
+
+def record_sort_key(record: Mapping[str, object]) -> Tuple:
+    """Total order: objectives, then the content hash as a stable tie-break."""
+    return objective_vector(record) + (str(record.get("key", "")),)
+
+
+def pareto_reduce(records: Sequence[Mapping[str, object]]
+                  ) -> List[Dict[str, object]]:
+    """The non-dominated records, in canonical sort order.
+
+    Error records (no ``metrics``) are excluded up front.  Single skyline
+    pass over the lexicographically sorted records: a later record can
+    never dominate an earlier one (dominance would force it to sort
+    first), so each candidate only needs checking against the accepted
+    front — O(n * front) instead of O(n^2).
+    """
+    valid = [r for r in records if "error" not in r and "metrics" in r]
+    ordered = sorted(valid, key=record_sort_key)
+    front: List[Dict[str, object]] = []
+    front_vectors: List[Tuple[float, ...]] = []
+    seen: set = set()
+    for record in ordered:
+        vec = objective_vector(record)
+        if vec in seen:
+            continue                      # duplicate of a processed vector
+        seen.add(vec)
+        if any(dominates(f, vec) for f in front_vectors):
+            continue
+        front.append(dict(record))
+        front_vectors.append(vec)
+    return front
