@@ -22,6 +22,8 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..core.effects import reentrant
+
 #: Schema tag stamped into every benchmark document.
 BENCH_SCHEMA = "repro.bench/1"
 
@@ -48,6 +50,8 @@ def _slug(label: str) -> str:
 # Model metrics (deterministic)
 # ---------------------------------------------------------------------------
 
+@reentrant(reason="model metrics feed the regression gate: any hidden "
+                  "state would turn gate failures into flakes")
 def collect_model_metrics() -> Dict[str, Dict[str, object]]:
     """Key model outputs of the fig7/fig8/table2 harnesses."""
     from ..harness.fig7 import build_fig7
@@ -78,6 +82,8 @@ def collect_model_metrics() -> Dict[str, Dict[str, object]]:
     return metrics
 
 
+@reentrant(reason="the smoke sweep runs serial and cache-less so the "
+                  "gate can pin its frontier bit-exactly")
 def collect_dse_metrics() -> Dict[str, Dict[str, object]]:
     """Frontier invariants of the smoke design-space sweep (``repro.dse``).
 
@@ -135,6 +141,8 @@ def _make_sparse(rng: np.random.Generator, shape, pattern) -> np.ndarray:
     return (dense * mask).astype(np.int64)
 
 
+@reentrant(reason="timing inputs are seeded and clocks are allowed "
+                  "ambient state; only durations may vary across runs")
 def collect_timing_metrics(repeats: int = DEFAULT_REPEATS
                            ) -> Dict[str, Dict[str, object]]:
     """PE-kernel micro-benchmarks + harness build wall times."""

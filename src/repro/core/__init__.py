@@ -10,6 +10,7 @@ Analytical layer (paper-scale area/power/EDP):
 """
 
 from .accelerator import HybridAccelerator, MappedGemm
+from .effects import effects, reentrant
 from .bitcell_array import BitCellArray, BitLevelSparsePE
 from .bitserial import from_partials, plane_weight, to_bit_planes
 from .bus import BusConfig, SharedBus, broadcast_vs_unicast
@@ -53,4 +54,5 @@ __all__ = [
     "inject_weight_bit_flips", "gemm_error_study", "classification_flip_rate",
     "BusConfig", "SharedBus", "broadcast_vs_unicast",
     "DesignPoint", "explore", "pareto_front",
+    "reentrant", "effects",
 ]

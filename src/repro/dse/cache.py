@@ -23,6 +23,7 @@ import os
 import pathlib
 from typing import Dict, Optional
 
+from ..core.effects import reentrant
 from .evaluate import RECORD_SCHEMA
 from .spec import canonical_json
 
@@ -57,6 +58,9 @@ class DiskCache:
         return self.root / f"{key}.json"
 
     # ------------------------------------------------------------------ read
+    @reentrant(reason="cache reads race with concurrent sweeps; validation "
+                      "must depend on the entry bytes alone (counters on "
+                      "self are caller-owned, not module state)")
     def lookup(self, key: str) -> Optional[Dict[str, object]]:
         """The cached record for ``key``, or None (counted as miss).
 
@@ -103,6 +107,8 @@ class DiskCache:
         return record
 
     # ----------------------------------------------------------------- write
+    @reentrant(reason="atomic tmp+replace write: safe under concurrent "
+                      "stores of the same key from racing shards")
     def store(self, key: str, record: Dict[str, object]) -> None:
         if not self.enabled:
             return

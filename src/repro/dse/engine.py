@@ -25,6 +25,7 @@ from __future__ import annotations
 import concurrent.futures
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..core.effects import reentrant
 from ..obs import get_tracer
 from .cache import DiskCache
 from .evaluate import RECORD_SCHEMA, evaluate_config
@@ -36,6 +37,8 @@ SWEEP_SCHEMA = "repro.dse/sweep/1"
 FRONTIER_SCHEMA = "repro.dse/frontier/1"
 
 
+@reentrant(reason="the process-pool worker entry point: any hidden state "
+                  "here would make workers=1 and workers=N diverge")
 def _evaluate_record(config: Dict[str, object]) -> Dict[str, object]:
     """Worker entry point (module-level: picklable by the process pool).
 

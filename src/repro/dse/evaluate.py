@@ -16,6 +16,7 @@ import dataclasses
 from typing import Dict, Mapping
 
 from ..core.designs import HybridSparseDesign
+from ..core.effects import effects, reentrant
 from ..core.workload import Workload, paper_workload
 from ..energy.tech import DEFAULT_TECH, TechnologyModel
 from ..sparsity.nm import NMPattern
@@ -33,6 +34,11 @@ METRIC_KEYS = ("area_mm2", "density", "inference_latency_s",
 _WORKLOADS: Dict[str, Workload] = {}
 
 
+@effects("READS_GLOBAL",
+         reason="idempotent per-process memo: every store writes the value "
+                "paper_workload() deterministically computes for that name, "
+                "so concurrent or repeated calls observe identical results; "
+                "callers see a pure lookup")
 def get_workload(name: str) -> Workload:
     if name not in _WORKLOADS:
         if name != "paper":
@@ -41,6 +47,7 @@ def get_workload(name: str) -> Workload:
     return _WORKLOADS[name]
 
 
+@reentrant(reason="sharded sweeps build tech variants in every worker")
 def build_tech(config: Mapping[str, object]) -> TechnologyModel:
     """The technology variant a config names, from the Table 2 defaults.
 
@@ -84,6 +91,9 @@ def build_tech(config: Mapping[str, object]) -> TechnologyModel:
     return dataclasses.replace(DEFAULT_TECH, sram=sram, mram=mram)
 
 
+@reentrant(reason="the per-point evaluator: must be a pure function of "
+                  "the config so shards merge deterministically and the "
+                  "cache can key records by config content alone")
 def evaluate_config(config: Mapping[str, object]) -> Dict[str, object]:
     """Evaluate one design config; returns the canonical record dict.
 

@@ -23,6 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.designs import HybridSparseDesign
+from ..core.effects import reentrant
 from ..core.fault_injection import gemm_error_study
 from ..core.workload import Workload, paper_workload
 from ..core.write_verify import WriteVerifyController
@@ -107,6 +108,8 @@ def fault_robustness(seed: int = 0) -> list:
                             trials=3, rng=rng)
 
 
+@reentrant(reason="every ablation study is seeded; repeated builds must "
+                  "be bit-identical for the bench gate to hold them")
 def build_ablations(workload: Optional[Workload] = None) -> Dict:
     workload = workload or paper_workload()
     tracer = get_tracer()

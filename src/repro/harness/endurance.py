@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.designs import DenseCIMDesign, HybridSparseDesign
+from ..core.effects import reentrant
 from ..core.workload import Workload, paper_workload
 from ..energy.endurance import (tasks_until_failure, training_lifetime_study)
 from ..energy.rram import compare_nvm_write_cost, rram_technology
@@ -25,6 +26,8 @@ from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
                         save_json)
 
 
+@reentrant(reason="lifetime studies are analytical; repeated builds "
+                  "must agree for the regression gate")
 def build_endurance(workload: Optional[Workload] = None) -> Dict:
     workload = workload or paper_workload()
     tracer = get_tracer()

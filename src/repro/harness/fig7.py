@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.designs import DenseCIMDesign, HybridSparseDesign
+from ..core.effects import reentrant
 from ..core.workload import Workload, paper_workload
 from ..obs import get_tracer
 from ..sparsity.nm import NMPattern
@@ -37,6 +38,8 @@ def fig7_designs(workload: Optional[Workload] = None):
     ]
 
 
+@reentrant(reason="bench and serve call the fig7 evaluator repeatedly; "
+                  "results must be a function of the workload alone")
 def build_fig7(workload: Optional[Workload] = None) -> Dict:
     workload = workload or paper_workload()
     designs = fig7_designs(workload)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.designs import DenseCIMDesign, HybridSparseDesign
+from ..core.effects import reentrant
 from ..core.workload import Workload, paper_workload
 from ..obs import get_tracer
 from ..sparsity.nm import NMPattern
@@ -44,6 +45,8 @@ def fig8_configs() -> List[Tuple[str, str, object]]:
     ]
 
 
+@reentrant(reason="bench and serve call the fig8 evaluator repeatedly; "
+                  "results must be a function of workload and batch alone")
 def build_fig8(workload: Optional[Workload] = None, batch: int = 32) -> Dict:
     workload = workload or paper_workload()
     configs = fig8_configs()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..core.effects import reentrant
 from ..energy.mtj import MTJ, MTJParams, table2_write_energy_check
 from ..energy.tech import DEFAULT_TECH, TechnologyModel
 from ..obs import get_tracer
@@ -18,6 +19,8 @@ from .reporting import (begin_trace, finish_trace, format_table, harness_cli,
                         save_json)
 
 
+@reentrant(reason="the table2 device check is pure compact-model "
+                  "arithmetic over the tech spec it is handed")
 def build_table2(tech: TechnologyModel = DEFAULT_TECH) -> Dict:
     """Structured Table 2 content (paper values are the spec fields)."""
     with get_tracer().span("table2.build"):

@@ -4,8 +4,10 @@ Exit status: 0 when every linted file is clean, 1 when any finding (error
 or warning) survives suppressions, 2 on usage errors.  CI gates on this.
 
 ``--dataflow`` adds the opt-in flow-sensitive verifier (rules R6/R7) to
-the run; ``--list-suppressions`` audits every suppression pragma instead
-of linting; ``--strict`` escalates stale pragmas — pragmas that suppress
+the run; ``--effects`` adds the interprocedural effect & reentrancy
+verifier (rules R8/R9/R10); the two can be combined.
+``--list-suppressions`` audits every suppression pragma instead of
+linting; ``--strict`` escalates stale pragmas — pragmas that suppress
 nothing — into failures (as S1 findings in a lint run, as exit status 1
 in a ``--list-suppressions`` run).
 """
@@ -48,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the flow-sensitive bit-width/value-range verifier "
              "(rules R6 bit-growth, R7 width-consistency)")
     parser.add_argument(
+        "--effects", action="store_true",
+        help="also run the interprocedural effect & reentrancy verifier "
+             "(rules R8 reentrancy, R9 cache-key-completeness, "
+             "R10 worker-shippability)")
+    parser.add_argument(
         "--strict", action="store_true",
         help="treat stale suppression pragmas (ones that suppress "
              "nothing) as failures")
@@ -64,11 +71,24 @@ def build_parser() -> argparse.ArgumentParser:
 def list_rules_text() -> str:
     lines = []
     for rule in all_rules(include_optin=True):
-        optin = " (opt-in: --dataflow)" if rule.optin else ""
+        optin = ""
+        if rule.optin:
+            switch = f"--{rule.group}" if rule.group else "--rules"
+            optin = f" (opt-in: {switch})"
         lines.append(f"{rule.code}  {rule.name}  "
                      f"[{rule.severity}/{rule.scope}]  "
                      f"{rule.description}{optin}")
     return "\n".join(lines)
+
+
+def _optin_groups(args):
+    """The ``include_optin`` selector the flags add up to."""
+    groups = []
+    if args.dataflow:
+        groups.append("dataflow")
+    if args.effects:
+        groups.append("effects")
+    return groups or False
 
 
 def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
@@ -115,7 +135,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.list_suppressions:
             return _list_suppressions(args, codes)
         result = lint_paths(args.paths, codes=codes,
-                            include_optin=args.dataflow)
+                            include_optin=_optin_groups(args))
         if args.strict:
             entries = audit_suppressions(args.paths, codes=codes)
             result.findings.extend(_stale_finding(e)

@@ -91,6 +91,7 @@ class BitGrowthRule(Rule):
     severity = "error"
     scope = "project"
     optin = True
+    group = "dataflow"
     description = ("every reduction's worst-case range must fit the "
                    "@width_contract accumulator (flow-sensitive interval "
                    "analysis with function summaries)")
@@ -124,6 +125,7 @@ class WidthConsistencyRule(Rule):
     severity = "error"
     scope = "project"
     optin = True
+    group = "dataflow"
     description = ("@width_contract widths on datapath entry points must "
                    "match repro.core.widths, which the energy model "
                    "(energy/sensing.py, energy/cost.py) must mirror")

@@ -1,0 +1,416 @@
+"""Package-wide call graph over the lint engine's ASTs.
+
+Builds, from the linted file set alone (no imports of the code under
+analysis), enough name-binding structure to resolve calls across module
+boundaries:
+
+* **Module identity** — ``src/repro/dse/evaluate.py`` becomes
+  ``repro.dse.evaluate`` (the path tail from the last ``repro``
+  segment), so fixtures with virtual paths route exactly like the real
+  tree.
+* **Bindings** — per module, every top-level name is bound to a target:
+  a function, a class, an imported module, an external dotted name, a
+  module-level global (classified mutable/immutable), or a *registry* (a
+  dict literal of function references — the ``impl=`` kernel dispatch
+  shape; a call through ``REGISTRY[name](...)`` fans out to every
+  registered implementation).
+* **Re-exports and aliases** — ``from .tracer import get_tracer`` in a
+  package ``__init__`` and ``f = g`` aliases resolve through bounded
+  chains, so call sites that import the re-exported name still reach
+  the defining function.
+* **Method resolution** — ``self.m(...)`` resolves within the enclosing
+  class and its in-package bases; ``x.m(...)`` resolves when ``x`` is a
+  parameter annotated with an in-package class, was assigned from a
+  constructor call, or was produced by a ``dataclasses.replace`` overlay
+  of such a value (the overlay preserves the receiver type).
+
+Resolution is deliberately bounded: targets the binder cannot prove are
+reported as unresolved and treated as effect-free by the analysis — the
+trust boundary :mod:`repro.lint.effects.summaries` documents.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..astutil import dotted_name
+
+#: Maximum alias/re-export chain length followed during resolution.
+_CHAIN_BOUND = 16
+
+
+# ---------------------------------------------------------------------------
+# Module identity
+# ---------------------------------------------------------------------------
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a linted path (posix separators).
+
+    Uses the path tail from the *last* ``repro`` segment so both
+    ``src/repro/dse/cache.py`` and a fixture named
+    ``repro/dse/cache.py`` map to ``repro.dse.cache``; paths without a
+    ``repro`` segment fall back to their stem (single-file fixtures).
+    """
+    parts = path.split("/")
+    name = parts[-1]
+    stem = name[:-3] if name.endswith(".py") else name
+    anchor = None
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            anchor = i
+            break
+    if anchor is None:
+        return stem
+    dotted = parts[anchor:-1] + ([] if stem == "__init__" else [stem])
+    return ".".join(dotted)
+
+
+def is_package_path(path: str) -> bool:
+    return path.endswith("/__init__.py") or path == "__init__.py"
+
+
+# ---------------------------------------------------------------------------
+# Graph data model
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition in the linted tree."""
+
+    qualname: str                   # module.fn or module.Class.fn
+    name: str                       # bare name
+    module: str                     # defining module's dotted name
+    class_name: Optional[str]
+    node: ast.AST                   # FunctionDef / AsyncFunctionDef
+    path: str
+    line: int
+    decorators: List[ast.expr]
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    qualname: str
+    name: str
+    module: str
+    node: ast.ClassDef
+    path: str
+    bases: List[str]                # dotted names as written
+    methods: Dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+
+
+# Binding targets are small tagged tuples:
+#   ("func", qualname)                      in-package function/method
+#   ("class", qualname)                     in-package class
+#   ("module", dotted)                      a module object (any origin)
+#   ("external", dotted)                    external name (summary lookup)
+#   ("import", module_name, original_name)  lazy from-import link
+#   ("alias", dotted_text)                  top-level `f = g` / `f = a.b`
+#   ("registry", (qualname, ...), line)     dict-of-functions dispatch table
+#   ("global", kind, line)                  module-level variable;
+#       kind in {"mutable", "object", "const"} — "object" is a constructor
+#       call result (mutable instance), "mutable" a container literal.
+Binding = Tuple
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    name: str
+    path: str
+    tree: ast.Module
+    is_package: bool
+    bindings: Dict[str, Binding] = dataclasses.field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = dataclasses.field(
+        default_factory=dict)
+    classes: Dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports anchor at."""
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+class CallGraph:
+    """All modules, functions and classes of one linted project."""
+
+    def __init__(self):
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # ------------------------------------------------------------ building
+    @classmethod
+    def build(cls, project) -> "CallGraph":
+        graph = cls()
+        for ctx in project.files:
+            graph._add_module(ctx)
+        for mod in graph.modules.values():
+            graph._bind_module(mod)
+        return graph
+
+    def _add_module(self, ctx) -> None:
+        name = module_name_for(ctx.path)
+        mod = ModuleInfo(name=name, path=ctx.path, tree=ctx.tree,
+                         is_package=is_package_path(ctx.path))
+        # Last writer wins on duplicate names (shouldn't happen in a repo).
+        self.modules[name] = mod
+
+    def _bind_module(self, mod: ModuleInfo) -> None:
+        for stmt in mod.tree.body:
+            self._bind_statement(mod, stmt)
+
+    def _bind_statement(self, mod: ModuleInfo, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = self._register_function(mod, stmt, class_name=None)
+            mod.bindings[stmt.name] = ("func", info.qualname)
+        elif isinstance(stmt, ast.ClassDef):
+            self._register_class(mod, stmt)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname:
+                    mod.bindings[alias.asname] = ("module", alias.name)
+                else:
+                    root = alias.name.split(".")[0]
+                    mod.bindings[root] = ("module", root)
+        elif isinstance(stmt, ast.ImportFrom):
+            target = self._resolve_import_from(mod, stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mod.bindings[local] = ("import", target, alias.name)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            self._bind_assignment(mod, stmt.targets[0].id, stmt.value,
+                                  stmt.lineno)
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and stmt.value is not None:
+            self._bind_assignment(mod, stmt.target.id, stmt.value,
+                                  stmt.lineno)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING / try-import guards: bind both arms.
+            for body in _nested_bodies(stmt):
+                for sub in body:
+                    self._bind_statement(mod, sub)
+
+    def _register_function(self, mod: ModuleInfo, node,
+                           class_name: Optional[str]) -> FunctionInfo:
+        qual = (f"{mod.name}.{class_name}.{node.name}" if class_name
+                else f"{mod.name}.{node.name}")
+        info = FunctionInfo(qualname=qual, name=node.name, module=mod.name,
+                            class_name=class_name, node=node, path=mod.path,
+                            line=node.lineno,
+                            decorators=list(node.decorator_list))
+        self.functions[qual] = info
+        if class_name is None:
+            mod.functions[node.name] = info
+        return info
+
+    def _register_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{mod.name}.{node.name}"
+        bases = [d for d in (dotted_name(b) for b in node.bases)
+                 if d is not None]
+        cls_info = ClassInfo(qualname=qual, name=node.name, module=mod.name,
+                             node=node, path=mod.path, bases=bases)
+        for sub in node.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._register_function(mod, sub,
+                                               class_name=node.name)
+                cls_info.methods[sub.name] = info
+        self.classes[qual] = cls_info
+        mod.classes[node.name] = cls_info
+        mod.bindings[node.name] = ("class", qual)
+
+    def _resolve_import_from(self, mod: ModuleInfo,
+                             stmt: ast.ImportFrom) -> str:
+        """Absolute dotted module a ``from ... import`` targets."""
+        if stmt.level == 0:
+            return stmt.module or ""
+        anchor = mod.package.split(".") if mod.package else []
+        hops = stmt.level - 1
+        base = anchor[:len(anchor) - hops] if hops else anchor
+        parts = base + (stmt.module.split(".") if stmt.module else [])
+        return ".".join(p for p in parts if p)
+
+    def _bind_assignment(self, mod: ModuleInfo, name: str, value: ast.expr,
+                         line: int) -> None:
+        dotted = dotted_name(value)
+        if dotted is not None:
+            mod.bindings[name] = ("alias", dotted)
+            return
+        registry = self._registry_values(value)
+        if registry is not None:
+            mod.bindings[name] = ("registry", tuple(registry), line)
+            return
+        if _is_mutable_container(value):
+            mod.bindings[name] = ("global", "mutable", line)
+            return
+        if isinstance(value, ast.Call):
+            callee = dotted_name(value.func)
+            if callee in ("dict", "list", "set", "frozenset", "defaultdict",
+                          "deque", "OrderedDict", "Counter"):
+                mod.bindings[name] = ("global", "mutable", line)
+            else:
+                # Constructor-call result: a module-level object instance.
+                mod.bindings[name] = ("global", "object", line)
+            return
+        mod.bindings[name] = ("global", "const", line)
+
+    def _registry_values(self, value: ast.expr) -> Optional[List[str]]:
+        """Bare-Name values of a dict literal, as written (resolved later)."""
+        if not isinstance(value, ast.Dict) or not value.values:
+            return None
+        names = []
+        for v in value.values:
+            if not isinstance(v, ast.Name):
+                return None
+            names.append(v.id)
+        return names
+
+    # ----------------------------------------------------------- resolution
+    def resolve_name(self, module: str, name: str,
+                     _depth: int = 0) -> Optional[Binding]:
+        """Resolve one local name in ``module`` through alias/import chains.
+
+        Terminal bindings are ``func``/``class``/``module``/``external``/
+        ``registry``/``global``; None means the name is unknown there.
+        """
+        if _depth > _CHAIN_BOUND:
+            return None
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        binding = mod.bindings.get(name)
+        if binding is None:
+            return None
+        return self._follow(mod, binding, _depth)
+
+    def _follow(self, mod: ModuleInfo, binding: Binding,
+                depth: int) -> Optional[Binding]:
+        if depth > _CHAIN_BOUND:
+            return None
+        tag = binding[0]
+        if tag == "import":
+            _, target_module, original = binding
+            if target_module in self.modules:
+                inner = self.resolve_name(target_module, original,
+                                          depth + 1)
+                if inner is not None:
+                    return inner
+                # The target module exists but doesn't bind the name —
+                # maybe the name is itself a submodule (from pkg import m).
+                sub = f"{target_module}.{original}"
+                if sub in self.modules:
+                    return ("module", sub)
+                return ("external", f"{target_module}.{original}")
+            return ("external", f"{target_module}.{original}"
+                    if target_module else original)
+        if tag == "alias":
+            resolved = self.resolve_dotted(mod.name, binding[1], depth + 1)
+            return resolved
+        if tag == "registry":
+            # Resolve the written value names into function qualnames now.
+            _, value_names, line = binding
+            funcs = []
+            for value_name in value_names:
+                inner = self.resolve_name(mod.name, value_name, depth + 1)
+                if inner is not None and inner[0] == "func":
+                    funcs.append(inner[1])
+            return ("registry", tuple(funcs), line)
+        return binding
+
+    def resolve_dotted(self, module: str, dotted: str,
+                       _depth: int = 0) -> Optional[Binding]:
+        """Resolve ``a.b.c`` from ``module``'s namespace.
+
+        Walks the head binding, then descends: module attributes through
+        that module's bindings, class attributes to methods (including
+        in-package base classes), external heads to external dotted
+        names.
+        """
+        if _depth > _CHAIN_BOUND:
+            return None
+        parts = dotted.split(".")
+        head = self.resolve_name(module, parts[0], _depth + 1)
+        if head is None:
+            return None
+        return self.descend(head, parts[1:], _depth + 1)
+
+    def descend(self, binding: Binding, attrs: List[str],
+                _depth: int = 0) -> Optional[Binding]:
+        """Follow attribute accesses from a resolved binding."""
+        if _depth > _CHAIN_BOUND:
+            return None
+        if not attrs:
+            return binding
+        tag = binding[0]
+        head, rest = attrs[0], attrs[1:]
+        if tag == "module":
+            target = binding[1]
+            sub = f"{target}.{head}"
+            if target in self.modules:
+                inner = self.resolve_name(target, head, _depth + 1)
+                if inner is not None:
+                    return self.descend(inner, rest, _depth + 1)
+                if sub in self.modules:
+                    return self.descend(("module", sub), rest, _depth + 1)
+                return None
+            if sub in self.modules:   # dotted import of an internal module
+                return self.descend(("module", sub), rest, _depth + 1)
+            return ("external", ".".join([target] + attrs))
+        if tag == "external":
+            return ("external", ".".join([binding[1]] + attrs))
+        if tag == "class":
+            method = self.lookup_method(binding[1], head)
+            if method is not None and not rest:
+                return ("func", method.qualname)
+            return None
+        if tag == "global" and binding[1] == "object":
+            # Module-level instance: methods resolve when the constructor
+            # names an in-package class (handled by the transfer layer,
+            # which knows the instance's class).  Here: unknown.
+            return None
+        return None
+
+    def lookup_method(self, class_qualname: str, method: str,
+                      _depth: int = 0) -> Optional[FunctionInfo]:
+        """A method on a class or its in-package bases (MRO-ish, bounded)."""
+        if _depth > _CHAIN_BOUND:
+            return None
+        cls = self.classes.get(class_qualname)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            resolved = self.resolve_dotted(cls.module, base, _depth + 1)
+            if resolved is not None and resolved[0] == "class":
+                found = self.lookup_method(resolved[1], method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def function_for(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+
+def _is_mutable_container(value: ast.expr) -> bool:
+    return isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp))
+
+
+def _nested_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    bodies = [getattr(stmt, "body", [])]
+    for handler in getattr(stmt, "handlers", []):
+        bodies.append(handler.body)
+    bodies.append(getattr(stmt, "orelse", []))
+    bodies.append(getattr(stmt, "finalbody", []))
+    return [b for b in bodies if b]

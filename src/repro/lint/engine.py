@@ -24,7 +24,11 @@ import ast
 import dataclasses
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, Iterable, List, Optional, Sequence, Set, Tuple,
+                    Union)
+
+#: ``all_rules`` opt-in selector: False, True, or a set of group names.
+OptinSelector = Union[bool, Sequence[str]]
 
 from .findings import Finding
 from .registry import Rule, all_rules
@@ -219,7 +223,7 @@ def _parse_paths(paths: Sequence[str]
 
 def lint_paths(paths: Sequence[str],
                codes: Optional[Sequence[str]] = None,
-               include_optin: bool = False) -> LintResult:
+               include_optin: OptinSelector = False) -> LintResult:
     """Lint files/directories on disk; the CLI's entry point."""
     rules = all_rules(codes, include_optin=include_optin)
     contexts, parse_errors = _parse_paths(paths)
@@ -230,7 +234,7 @@ def lint_paths(paths: Sequence[str],
 
 def lint_sources(sources: Dict[str, str],
                  codes: Optional[Sequence[str]] = None,
-                 include_optin: bool = False) -> LintResult:
+                 include_optin: OptinSelector = False) -> LintResult:
     """Lint in-memory ``{path: source}`` pairs — the test fixtures' door.
 
     Paths are virtual but flow through ``applies_to`` exactly like real
@@ -279,7 +283,7 @@ class SuppressionEntry:
 
 def audit_suppressions(paths: Sequence[str],
                        codes: Optional[Sequence[str]] = None,
-                       include_optin: bool = True
+                       include_optin: OptinSelector = True
                        ) -> List[SuppressionEntry]:
     """Every pragma under ``paths`` with its suppression count.
 

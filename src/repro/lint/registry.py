@@ -18,7 +18,8 @@ Rules self-register at import time via the :func:`register` decorator;
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Union)
 
 from .findings import SEVERITIES, Finding
 
@@ -34,9 +35,13 @@ class Rule:
     severity: str = "error"
     scope: str = "file"           # "file" or "project"
     description: str = ""
-    #: Opt-in rules (the dataflow verifier's R6/R7) are excluded from the
-    #: default rule set; enable them with explicit codes or include_optin.
+    #: Opt-in rules (the dataflow verifier's R6/R7, the effects verifier's
+    #: R8-R10) are excluded from the default rule set; enable them with
+    #: explicit codes or include_optin.
     optin: bool = False
+    #: Opt-in family this rule belongs to ("dataflow", "effects"); the
+    #: CLI's --dataflow / --effects switches enable groups independently.
+    group: Optional[str] = None
 
     def applies_to(self, path: str) -> bool:
         """Whether this (file-scoped) rule runs on ``path`` (posix-style)."""
@@ -74,17 +79,28 @@ def register(rule_cls):
 
 
 def all_rules(codes: Optional[Iterable[str]] = None,
-              include_optin: bool = False) -> List[Rule]:
+              include_optin: Union[bool, Iterable[str]] = False
+              ) -> List[Rule]:
     """Registered rules, optionally restricted to ``codes`` (unknown → error).
 
     Without explicit ``codes``, opt-in rules are excluded unless
-    ``include_optin`` is set (the CLI's ``--dataflow`` switch).  Naming a
-    code explicitly always selects it, opt-in or not.
+    ``include_optin`` selects them: ``True`` enables every opt-in rule,
+    a collection of group names (``["effects"]``) enables just those
+    families — the CLI's ``--dataflow`` / ``--effects`` switches.
+    Naming a code explicitly always selects it, opt-in or not.
     """
     _ensure_loaded()
     if codes is None:
+        if include_optin is True:
+            selected = lambda r: True               # noqa: E731
+        elif not include_optin:
+            selected = lambda r: not r.optin        # noqa: E731
+        else:
+            groups = set(include_optin)
+            selected = lambda r: (not r.optin       # noqa: E731
+                                  or r.group in groups)
         return [_REGISTRY[c] for c in sorted(_REGISTRY)
-                if include_optin or not _REGISTRY[c].optin]
+                if selected(_REGISTRY[c])]
     out = []
     for code in codes:
         if code not in _REGISTRY:
@@ -103,3 +119,4 @@ def _ensure_loaded() -> None:
     """Import the built-in rule modules (idempotent)."""
     from . import rules  # noqa: F401  (import side effect: registration)
     from .dataflow import rules as dataflow_rules  # noqa: F401
+    from .effects import rules as effects_rules  # noqa: F401

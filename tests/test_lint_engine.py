@@ -69,7 +69,7 @@ class TestRegistry:
 
     def test_unknown_code_raises(self):
         with pytest.raises(KeyError):
-            all_rules(["R9"])
+            all_rules(["R99"])
 
     def test_filtered_run_skips_other_rules(self):
         result = lint_sources({R4_PATH: R4_BAD}, codes=["R1"])

@@ -40,3 +40,38 @@ def test_real_tree_is_clean_under_dataflow(capsys):
     every @width_contract must hold and every pragma must earn its keep."""
     assert main(["--dataflow", "--strict", str(SRC)]) == EXIT_CLEAN
     capsys.readouterr()
+
+
+def test_real_tree_is_clean_under_effects(capsys):
+    """The effect verifier in strict mode: every @reentrant contract in
+    the DSE/bench/harness hot paths must prove out over the call graph."""
+    assert main(["--effects", "--strict", str(SRC)]) == EXIT_CLEAN
+    capsys.readouterr()
+
+
+def test_real_tree_hot_paths_are_contracted():
+    """The certification the ROADMAP's sharding/serve items rely on: the
+    worker entry point, the per-point evaluator, the cache paths, the
+    bench collectors and the harness builders all carry @reentrant."""
+    from repro.lint.effects import analyze_project
+    from repro.lint.engine import ProjectContext, _parse_paths
+
+    contexts, _ = _parse_paths([str(SRC)])
+    analysis = analyze_project(ProjectContext(files=contexts))
+    contracted = {s.info.qualname for s in analysis.reentrant_functions()}
+    for qualname in (
+            "repro.dse.engine._evaluate_record",
+            "repro.dse.evaluate.evaluate_config",
+            "repro.dse.evaluate.build_tech",
+            "repro.dse.cache.DiskCache.lookup",
+            "repro.dse.cache.DiskCache.store",
+            "repro.bench.runner.collect_model_metrics",
+            "repro.bench.runner.collect_dse_metrics",
+            "repro.bench.runner.collect_timing_metrics",
+            "repro.harness.fig7.build_fig7",
+            "repro.harness.fig8.build_fig8",
+            "repro.harness.table2.build_table2",
+            "repro.harness.ablations.build_ablations",
+            "repro.harness.endurance.build_endurance",
+    ):
+        assert qualname in contracted, f"{qualname} lost its contract"
