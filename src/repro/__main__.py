@@ -9,6 +9,7 @@ Single entry point over the experiment harness:
     python -m repro table1 --fast           # quick accuracy study
     python -m repro all --out results/      # everything except table1-full
     python -m repro dse --preset smoke      # design-space sweep (repro.dse)
+    python -m repro serve --port 8321       # HTTP service (repro.serve)
     python -m repro info                    # package overview
 """
 
@@ -19,7 +20,7 @@ import sys
 from typing import List, Optional
 
 EXPERIMENTS = ("table1", "table2", "fig7", "fig8", "figures", "endurance",
-               "ablations", "dse", "all", "info")
+               "ablations", "dse", "serve", "all", "info")
 
 
 def _run_info() -> None:
@@ -37,6 +38,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # everything after the subcommand verbatim.
         from .dse.__main__ import main as dse_main
         return dse_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Same pattern for the HTTP service.
+        from .serve.__main__ import main as serve_main
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -21,7 +21,8 @@ Entry point: ``python -m repro.dse`` (or ``python -m repro dse``).
 """
 
 from .cache import CACHE_SCHEMA, DEFAULT_CACHE_DIR, DiskCache, NullCache
-from .engine import (FRONTIER_SCHEMA, SWEEP_SCHEMA, frontier_doc, run_sweep)
+from .engine import (FRONTIER_SCHEMA, SWEEP_SCHEMA, evaluate_batch,
+                     evaluate_one, frontier_doc, run_sweep)
 from .evaluate import (METRIC_KEYS, RECORD_SCHEMA, build_tech,
                        evaluate_config, get_workload)
 from .export import (dumps_canonical, render_frontier, render_summary,
@@ -40,7 +41,8 @@ __all__ = [
     "evaluate_config", "build_tech", "get_workload",
     "METRIC_KEYS", "RECORD_SCHEMA",
     "DiskCache", "NullCache", "CACHE_SCHEMA", "DEFAULT_CACHE_DIR",
-    "run_sweep", "frontier_doc", "SWEEP_SCHEMA", "FRONTIER_SCHEMA",
+    "run_sweep", "evaluate_batch", "evaluate_one", "frontier_doc",
+    "SWEEP_SCHEMA", "FRONTIER_SCHEMA",
     "pareto_reduce", "dominates", "objective_vector", "record_sort_key",
     "OBJECTIVES", "OBJECTIVE_KEYS",
     "write_json", "write_csv", "dumps_canonical", "render_frontier",

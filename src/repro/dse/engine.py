@@ -23,7 +23,7 @@ Execution model:
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.effects import reentrant
 from ..obs import get_tracer
@@ -73,6 +73,66 @@ def _evaluate_many(configs: Sequence[Dict[str, object]],
         return [_evaluate_record(cfg) for cfg in configs]
 
 
+@reentrant(reason="the cache-through evaluation core shared by run_sweep "
+                  "and the serve layer's batching queue: results must be "
+                  "a function of the (key, config) list and cache bytes "
+                  "alone, never of who called it or in which thread")
+def evaluate_batch(keyed: Sequence[Tuple[str, Dict[str, object]]],
+                   workers: int = 1,
+                   cache: Optional[DiskCache] = None
+                   ) -> Tuple[Dict[str, Dict[str, object]], Dict[str, str]]:
+    """Evaluate already-normalized, deduplicated ``(key, config)`` pairs.
+
+    The single engine call behind both a sweep shard and a coalesced
+    serve batch: cache lookups first, one (optionally sharded)
+    evaluation pass over the misses in input order, successful fresh
+    records stored back.  Returns ``(records, served)`` where
+    ``records`` maps key -> record and ``served`` maps key ->
+    ``"hit"`` / ``"miss"`` (cache provenance, for client-visible
+    counters).  Error records are never cached.
+    """
+    tracer = get_tracer()
+    records: Dict[str, Dict[str, object]] = {}
+    served: Dict[str, str] = {}
+    pending: List[Tuple[str, Dict[str, object]]] = []
+    with tracer.span("dse.cache.lookup", configs=len(keyed)):
+        for key, cfg in keyed:
+            hit = cache.lookup(key) if cache is not None else None
+            if hit is not None:
+                records[key] = hit
+                served[key] = "hit"
+            else:
+                pending.append((key, cfg))
+                served[key] = "miss"
+    with tracer.span("dse.evaluate", pending=len(pending), workers=workers):
+        fresh = _evaluate_many([cfg for _, cfg in pending], workers)
+    for (key, _), record in zip(pending, fresh):
+        records[key] = record
+        if cache is not None and "error" not in record:
+            cache.store(key, record)
+    return records, served
+
+
+@reentrant(reason="the serve layer's single-request path: one normalized "
+                  "config through the same cache and evaluator as a "
+                  "sweep, so HTTP responses are byte-identical to "
+                  "library calls")
+def evaluate_one(config: Mapping[str, object],
+                 cache: Optional[DiskCache] = None
+                 ) -> Tuple[Dict[str, object], str]:
+    """Evaluate one config through the cache; ``(record, "hit"|"miss")``.
+
+    Raises ``ValueError`` for configs that do not even normalize (unknown
+    or missing keys, uncoercible types) — exactly like ``run_sweep``;
+    configs that normalize but fail evaluation come back as error
+    records, byte-identical to the records a sweep would produce.
+    """
+    cfg = normalize_config(config)
+    key = config_key(cfg)
+    records, served = evaluate_batch([(key, cfg)], workers=1, cache=cache)
+    return records[key], served[key]
+
+
 def run_sweep(spec: Optional[SweepSpec] = None,
               configs: Optional[Sequence[Mapping[str, object]]] = None,
               workers: int = 1,
@@ -99,23 +159,8 @@ def run_sweep(spec: Optional[SweepSpec] = None,
         keyed.append((key, cfg))
 
     with tracer.span("dse.sweep", configs=len(keyed), workers=workers) as sp:
-        records: Dict[str, Dict[str, object]] = {}
-        pending: List[tuple] = []
-        with tracer.span("dse.cache.lookup"):
-            for key, cfg in keyed:
-                hit = cache.lookup(key) if cache is not None else None
-                if hit is not None:
-                    records[key] = hit
-                else:
-                    pending.append((key, cfg))
-
-        with tracer.span("dse.evaluate", pending=len(pending),
-                         workers=workers):
-            fresh = _evaluate_many([cfg for _, cfg in pending], workers)
-        for (key, _), record in zip(pending, fresh):
-            records[key] = record
-            if cache is not None and "error" not in record:
-                cache.store(key, record)
+        records, served = evaluate_batch(keyed, workers=workers, cache=cache)
+        evaluated = sum(1 for origin in served.values() if origin == "miss")
 
         # Merge in enumeration order — never in completion order.
         ordered = [records[key] for key, _ in keyed]
@@ -123,7 +168,7 @@ def run_sweep(spec: Optional[SweepSpec] = None,
             frontier = pareto_reduce(ordered)
 
         errors = [r for r in ordered if "error" in r]
-        sp.count(evaluated=len(pending), errors=len(errors),
+        sp.count(evaluated=evaluated, errors=len(errors),
                  frontier=len(frontier))
 
     return {

@@ -16,10 +16,19 @@ when disabled: ``span()`` returns a shared null context manager that
 allocates nothing, so instrumented hot paths (the PE kernel dispatch) stay
 within a <2% overhead budget on the PE-kernel benchmarks.  Enable it with
 the ``REPRO_TRACE=1`` environment variable or ``configure(enabled=True)``.
+
+Tracer lookup is **context-local**: :func:`get_tracer` first consults a
+``contextvars.ContextVar`` that :func:`use_tracer` sets, falling back to
+the process-global tracer when no override is active.  Concurrent request
+handlers (``repro.serve``) each install their own tracer, so two
+interleaved requests never attach spans or counters to each other — the
+process-global registry alone cannot provide that isolation, because
+every thread would share one span list.
 """
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import os
 import threading
@@ -195,17 +204,56 @@ class Tracer:
         return [s for s in self.spans if s.end_ns is not None]
 
 
-#: The process-global tracer every instrumentation site shares.
+#: The process-global tracer every instrumentation site shares by default.
 _TRACER = Tracer()
+
+#: Context-local tracer override.  ``None`` means "use the process-global
+#: tracer"; :func:`use_tracer` installs a per-request/per-job tracer here.
+#: New threads start from the default context (no override), so a worker
+#: thread only ever sees a context-local tracer it installed itself.
+_TRACER_VAR: "contextvars.ContextVar[Optional[Tracer]]" = \
+    contextvars.ContextVar("repro_obs_tracer", default=None)
 
 
 def get_tracer() -> Tracer:
-    """The process-global tracer (enable with ``configure`` / REPRO_TRACE)."""
+    """The *active* tracer: the context-local override when one is
+    installed (:func:`use_tracer`), else the process-global tracer."""
+    tracer = _TRACER_VAR.get()
+    return _TRACER if tracer is None else tracer
+
+
+def global_tracer() -> Tracer:
+    """The process-global tracer, ignoring any context-local override."""
     return _TRACER
 
 
+class use_tracer:
+    """Install ``tracer`` as the context-local tracer for a ``with`` block.
+
+    Every :func:`get_tracer` call in the block (and in functions it calls,
+    on the same thread/context) resolves to ``tracer``; the previous
+    binding is restored on exit, even on exceptions.  Nestable.
+    """
+
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Tracer:
+        self._token = _TRACER_VAR.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, *exc: object) -> bool:
+        assert self._token is not None
+        _TRACER_VAR.reset(self._token)
+        self._token = None
+        return False
+
+
 def configure(enabled: Optional[bool] = None, reset: bool = False) -> Tracer:
-    """Reconfigure the global tracer; returns it for chaining."""
+    """Reconfigure the *global* tracer; returns it for chaining."""
     if reset:
         _TRACER.reset()
     if enabled is not None:
@@ -215,8 +263,8 @@ def configure(enabled: Optional[bool] = None, reset: bool = False) -> Tracer:
 
 def span(name: str, **attrs: object):
     """Module-level shorthand for ``get_tracer().span(...)``."""
-    return _TRACER.span(name, **attrs)
+    return get_tracer().span(name, **attrs)
 
 
 def tracing_enabled() -> bool:
-    return _TRACER.enabled
+    return get_tracer().enabled

@@ -1,0 +1,87 @@
+"""``python -m repro.serve`` — run the simulation service.
+
+.. code-block:: bash
+
+    python -m repro.serve --port 8321                 # default cache
+    python -m repro.serve --port 0                    # pick a free port
+    python -m repro.serve --window-ms 50 --workers 4  # wider batches
+    python -m repro.serve --no-cache                  # always recompute
+
+    curl -s -X POST localhost:8321/v1/evaluate -d '{
+      "config": {"pattern": "1:8", "bus_bits": 128, "mram_rows": 1024,
+                 "weight_bits": 8, "device": "nominal"}}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..dse.cache import DEFAULT_CACHE_DIR, DiskCache, NullCache
+from .api import ROUTES, ServeApp, make_server
+
+
+def build_app(args: argparse.Namespace) -> ServeApp:
+    if args.no_cache:
+        cache: DiskCache = NullCache()
+    else:
+        cache = DiskCache(args.cache_dir, refresh=args.refresh)
+    return ServeApp(cache=cache,
+                    window_s=args.window_ms / 1000.0,
+                    engine_workers=args.workers,
+                    job_workers=args.job_workers)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Async batched simulation-as-a-service over the DSE "
+                    "engine and the experiment harness (stdlib-only "
+                    "HTTP/JSON API).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="bind port; 0 picks a free one (default: 8321)")
+    parser.add_argument("--window-ms", type=float, default=25.0,
+                        metavar="MS",
+                        help="evaluate-batching window in milliseconds "
+                             "(default: 25)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="engine worker processes per coalesced batch "
+                             "(default: 1)")
+    parser.add_argument("--job-workers", type=int, default=2, metavar="N",
+                        help="concurrent sweep/experiment jobs (default: 2)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"record cache root, shared with python -m "
+                             f"repro.dse (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the record cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="ignore cached records but refill the cache")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    args = parser.parse_args(argv)
+
+    app = build_app(args)
+    server = make_server(args.host, args.port, app, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro.serve listening on http://{host}:{port}  "
+          f"(cache: {app.cache.stats()['root'] if app.cache.enabled else 'off'}, "
+          f"window: {args.window_ms:g} ms)", flush=True)
+    for method, path, summary in ROUTES:
+        print(f"  {method:4s} {path:24s} {summary}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""The HTTP/JSON API: routing, the application object, the server.
+
+Layering (everything below the handler is plain-function testable):
+
+* :class:`ServeApp` — owns the shared :class:`~repro.dse.cache.DiskCache`
+  (the *same* content-hash cache ``python -m repro.dse`` uses, so HTTP
+  and CLI warm each other), the :class:`~.batching.BatchingQueue`, and
+  the :class:`~.jobs.JobStore`.  ``dispatch(method, path, body)`` is the
+  whole API as a pure-ish call: ``(status, document)`` out.
+* :class:`_Handler` — the thin ``http.server`` adapter: reads the body
+  (bounded by ``max_body_bytes``), calls ``dispatch``, writes JSON.
+  ``ThreadingHTTPServer`` gives one thread per request; all shared state
+  sits behind the app's locks.
+
+Every request gets a trace ID (``req-<seq>``, deterministic per server).
+Evaluate requests with ``"trace": true`` run under a context-local
+tracer (:func:`repro.obs.use_tracer`) and get their spans back inline;
+job traces are exported as Chrome ``trace_events`` documents via
+``GET /v1/jobs/<id>/trace``.
+
+Error discipline: *every* failure path returns a structured JSON error
+document (:func:`~.schemas.error_doc`) — schema violations as 4xx,
+unexpected exceptions as a 500 with the exception class name, never a
+traceback in the body.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .. import __version__
+from ..dse.cache import DiskCache
+from ..dse.engine import frontier_doc, run_sweep
+from ..dse.spec import config_key
+from ..obs import Tracer, to_trace_events, use_tracer
+from .batching import DEFAULT_WINDOW_S, BatchingQueue
+from .jobs import Job, JobStore
+from .schemas import (EVALUATE_SCHEMA, HEALTH_SCHEMA, JOB_RESULT_SCHEMA,
+                      JOB_SCHEMA, MAX_BODY_BYTES, STATS_SCHEMA, SchemaError,
+                      build_sweep_spec, error_doc, validate_evaluate_request,
+                      validate_experiment_request, validate_sweep_request)
+
+#: The endpoint table (method, path template, summary) — also what the
+#: CLI banner and METHODOLOGY §12 print, so docs and code cannot drift.
+ROUTES = (
+    ("POST", "/v1/evaluate", "evaluate one design config (batched+cached)"),
+    ("POST", "/v1/sweep", "submit a sweep job (SweepSpec overlay)"),
+    ("POST", "/v1/experiment", "submit an experiment job (fig7|fig8|table2)"),
+    ("GET", "/v1/jobs", "list jobs in submission order"),
+    ("GET", "/v1/jobs/<id>", "job status document"),
+    ("GET", "/v1/jobs/<id>/result", "job result (409 until finished)"),
+    ("GET", "/v1/jobs/<id>/trace", "job Chrome trace_events export"),
+    ("POST", "/v1/jobs/<id>/cancel", "cancel a queued job"),
+    ("GET", "/v1/health", "liveness + version"),
+    ("GET", "/v1/stats", "cache / batching / job counters"),
+)
+
+
+def _run_sweep_job(app: "ServeApp", job: Job) -> Dict[str, object]:
+    """Job runner: one sweep through the shared engine + cache."""
+    spec = build_sweep_spec(job.request)
+    result = run_sweep(spec=spec, workers=int(job.request["workers"]),
+                       cache=app.cache)
+    doc: Dict[str, object] = {
+        "configs": result["configs"],
+        "errors": len(result["errors"]),
+        "cache": result["cache"],
+        "frontier": frontier_doc(result),
+    }
+    if job.request.get("records"):
+        doc["records"] = result["records"]
+    return doc
+
+
+def _run_experiment_job(app: "ServeApp", job: Job) -> Dict[str, object]:
+    """Job runner: one harness build (fig7 / fig8 / table2)."""
+    from ..harness.fig7 import build_fig7
+    from ..harness.fig8 import build_fig8
+    from ..harness.table2 import build_table2
+
+    builders = {"fig7": build_fig7, "fig8": build_fig8,
+                "table2": build_table2}
+    name = str(job.request["experiment"])
+    return {"experiment": name, "result": builders[name]()}
+
+
+class ServeApp:
+    """Application state + the ``dispatch`` entry point."""
+
+    def __init__(self, cache: Optional[DiskCache] = None,
+                 window_s: float = DEFAULT_WINDOW_S,
+                 engine_workers: int = 1,
+                 job_workers: int = 2,
+                 max_body_bytes: int = MAX_BODY_BYTES):
+        self.cache = cache if cache is not None else DiskCache()
+        self.queue = BatchingQueue(cache=self.cache, window_s=window_s,
+                                   workers=engine_workers)
+        self.jobs = JobStore(workers=job_workers)
+        self.max_body_bytes = max_body_bytes
+        self._lock = threading.Lock()
+        self._trace_seq = 0
+
+    # -------------------------------------------------------------- plumbing
+    def next_trace_id(self) -> str:
+        with self._lock:
+            self._trace_seq += 1
+            return f"req-{self._trace_seq:06d}"
+
+    def parse_body(self, raw: bytes) -> object:
+        if len(raw) > self.max_body_bytes:
+            raise SchemaError("too-large",
+                              f"request body exceeds {self.max_body_bytes} "
+                              "bytes", status=413)
+        if not raw:
+            raise SchemaError("bad-json", "request body is empty")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SchemaError("bad-json",
+                              f"request body is not valid JSON: {exc}") \
+                from exc
+
+    # -------------------------------------------------------------- dispatch
+    def dispatch(self, method: str, path: str,
+                 raw_body: bytes = b"") -> Tuple[int, Dict[str, object]]:
+        """Route one request; always returns ``(status, json_doc)``."""
+        try:
+            return self._route(method, path, raw_body)
+        except SchemaError as exc:
+            return exc.status, exc.doc()
+        except Exception as exc:  # noqa: BLE001 — no tracebacks on the wire
+            return 500, error_doc("internal",
+                                  f"{type(exc).__name__}: {exc}")
+
+    def _route(self, method: str, path: str,
+               raw_body: bytes) -> Tuple[int, Dict[str, object]]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+
+        if parts == ["v1", "evaluate"]:
+            self._require(method, "POST", path)
+            return self.handle_evaluate(self.parse_body(raw_body))
+        if parts == ["v1", "sweep"]:
+            self._require(method, "POST", path)
+            return self.handle_sweep(self.parse_body(raw_body))
+        if parts == ["v1", "experiment"]:
+            self._require(method, "POST", path)
+            return self.handle_experiment(self.parse_body(raw_body))
+        if parts == ["v1", "jobs"]:
+            self._require(method, "GET", path)
+            return 200, self.jobs.list_doc()
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._require(method, "GET", path)
+            return self.handle_job_get(parts[2])
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] \
+                and parts[3] in ("result", "trace", "cancel"):
+            expected = "POST" if parts[3] == "cancel" else "GET"
+            self._require(method, expected, path)
+            handler = {"result": self.handle_job_result,
+                       "trace": self.handle_job_trace,
+                       "cancel": self.handle_job_cancel}[parts[3]]
+            return handler(parts[2])
+        if parts == ["v1", "health"]:
+            self._require(method, "GET", path)
+            return 200, {"schema": HEALTH_SCHEMA, "ok": True,
+                         "version": __version__}
+        if parts == ["v1", "stats"]:
+            self._require(method, "GET", path)
+            return 200, {"schema": STATS_SCHEMA,
+                         "cache": self.cache.stats(),
+                         "batching": self.queue.stats(),
+                         "jobs": self.jobs.counts()}
+        raise SchemaError("not-found", f"no such endpoint: {path}",
+                          status=404)
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise SchemaError("method-not-allowed",
+                              f"{path} requires {expected}, got {method}",
+                              status=405)
+
+    # -------------------------------------------------------------- handlers
+    def handle_evaluate(self, body: object) -> Tuple[int, Dict[str, object]]:
+        request = validate_evaluate_request(body)
+        config = request["config"]
+        key = config_key(config)
+        trace_id = self.next_trace_id()
+        tracer = Tracer(enabled=bool(request["trace"]))
+        with use_tracer(tracer):
+            with tracer.span("serve.request", endpoint="/v1/evaluate",
+                             trace_id=trace_id):
+                with tracer.span("serve.queue.wait"):
+                    record, served, batch = self.queue.submit(key, config)
+        doc: Dict[str, object] = {
+            "schema": EVALUATE_SCHEMA,
+            "trace_id": trace_id,
+            "key": key,
+            "cache": served,
+            "record": record,
+            "batch": {"index": batch.get("index"),
+                      "requests": batch.get("requests"),
+                      "unique": batch.get("unique")},
+        }
+        if request["trace"]:
+            doc["trace"] = {"spans": to_trace_events(tracer)["traceEvents"],
+                            "batch_spans": batch.get("spans", [])}
+        return 200, doc
+
+    def handle_sweep(self, body: object) -> Tuple[int, Dict[str, object]]:
+        request = validate_sweep_request(body)
+        job = self.jobs.submit(
+            "sweep", request, self.next_trace_id(),
+            lambda j: _run_sweep_job(self, j))
+        return 202, job.doc()
+
+    def handle_experiment(self, body: object
+                          ) -> Tuple[int, Dict[str, object]]:
+        request = validate_experiment_request(body)
+        job = self.jobs.submit(
+            "experiment", request, self.next_trace_id(),
+            lambda j: _run_experiment_job(self, j))
+        return 202, job.doc()
+
+    def handle_job_get(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        job = self._job(job_id)
+        return 200, job.doc()
+
+    def handle_job_result(self, job_id: str
+                          ) -> Tuple[int, Dict[str, object]]:
+        job = self._job(job_id)
+        if job.state == "done":
+            return 200, {"schema": JOB_RESULT_SCHEMA, "id": job.id,
+                         "result": job.result}
+        if job.state == "failed":
+            return 200, {"schema": JOB_RESULT_SCHEMA, "id": job.id,
+                         "error": job.error}
+        raise SchemaError("not-finished",
+                          f"job {job_id} is {job.state}; result exists "
+                          "only for done/failed jobs", status=409)
+
+    def handle_job_trace(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        job = self._job(job_id)
+        return 200, to_trace_events(job.tracer,
+                                    process_name=f"repro-serve {job.id}")
+
+    def handle_job_cancel(self, job_id: str
+                          ) -> Tuple[int, Dict[str, object]]:
+        outcome = self.jobs.cancel(job_id)
+        if outcome is None:
+            raise SchemaError("not-found", f"no such job: {job_id}",
+                              status=404)
+        if outcome is False:
+            job = self._job(job_id)
+            raise SchemaError("not-cancellable",
+                              f"job {job_id} is {job.state}; only queued "
+                              "jobs can be cancelled", status=409)
+        return 200, {"schema": JOB_SCHEMA, "id": job_id, "state": "cancelled"}
+
+    def _job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise SchemaError("not-found", f"no such job: {job_id}",
+                              status=404)
+        return job
+
+    # ------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        self.queue.shutdown()
+        self.jobs.shutdown(wait=False)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """http.server adapter over :meth:`ServeApp.dispatch`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:          # noqa: N802 — http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:         # noqa: N802 — http.server API
+        self._dispatch("POST")
+
+    # Wrong-verb requests still get structured JSON 405s, never the
+    # BaseHTTPRequestHandler HTML error page.
+    def do_PUT(self) -> None:          # noqa: N802 — http.server API
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:       # noqa: N802 — http.server API
+        self._dispatch("DELETE")
+
+    def do_PATCH(self) -> None:        # noqa: N802 — http.server API
+        self._dispatch("PATCH")
+
+    def _dispatch(self, method: str) -> None:
+        app: ServeApp = self.server.app  # type: ignore[attr-defined]
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        # Refuse to even read an oversized body: cap the read, let the
+        # app's size check reject it structurally.
+        raw = self.rfile.read(min(length, app.max_body_bytes + 1)) \
+            if length > 0 else b""
+        if length > len(raw):
+            # Oversized body left unread on the socket: this connection
+            # cannot be reused for another request.
+            self.close_connection = True
+        status, doc = app.dispatch(method, self.path, raw)
+        payload = json.dumps(doc, indent=1, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if isinstance(doc, dict) and "trace_id" in doc:
+            self.send_header("X-Repro-Trace-Id", str(doc["trace_id"]))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class ServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the app (one thread per request)."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], app: ServeApp,
+                 verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.app = app
+        self.verbose = verbose
+
+
+def make_server(host: str = "127.0.0.1", port: int = 8321,
+                app: Optional[ServeApp] = None,
+                verbose: bool = False) -> ServeServer:
+    """Bind a server (``port=0`` picks a free port; see ``server_port``)."""
+    return ServeServer((host, port), app if app is not None else ServeApp(),
+                       verbose=verbose)

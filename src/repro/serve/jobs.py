@@ -1,0 +1,163 @@
+"""Job lifecycle for the async endpoints (``/v1/sweep``, ``/v1/experiment``).
+
+A :class:`Job` is one accepted request flowing through the states::
+
+    queued -> running -> done | failed
+    queued -> cancelled                 (cancellation is queue-removal only)
+
+Jobs execute on a small ``ThreadPoolExecutor`` — the heavy lifting inside
+a sweep already shards across *processes* via the engine's ``workers``
+parameter, so the thread pool only bounds how many requests run
+concurrently.  Each job runs under its **own** context-local tracer
+(:func:`repro.obs.use_tracer`), so ``GET /v1/jobs/<id>/trace`` can export
+a per-request Chrome trace that never interleaves with other jobs.
+
+Cancellation semantics: only ``queued`` jobs can be cancelled — a running
+sweep is a single engine call with no safe preemption point, and a
+finished job is immutable.  The runner re-checks the state under the
+store lock before flipping to ``running``, so a cancel that lands first
+always wins.
+
+Durations use ``time.perf_counter_ns()`` (monotonic; wall-clock
+``time.time`` is banned for durations by lint rule R4).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..obs import Tracer, use_tracer
+from .schemas import JOB_SCHEMA, JOBS_SCHEMA
+
+#: The job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job can no longer leave.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class Job:
+    """One accepted async request and everything it accumulates."""
+
+    __slots__ = ("id", "kind", "request", "trace_id", "state", "result",
+                 "error", "tracer", "queued_ns", "started_ns",
+                 "finished_ns")
+
+    def __init__(self, job_id: str, kind: str, request: Dict[str, object],
+                 trace_id: str):
+        self.id = job_id
+        self.kind = kind
+        self.request = request
+        self.trace_id = trace_id
+        self.state = "queued"
+        self.result: Optional[Dict[str, object]] = None
+        self.error: Optional[Dict[str, object]] = None
+        self.tracer = Tracer(enabled=True)
+        self.queued_ns = time.perf_counter_ns()
+        self.started_ns: Optional[int] = None
+        self.finished_ns: Optional[int] = None
+
+    def doc(self) -> Dict[str, object]:
+        """The public job document (``GET /v1/jobs/<id>``)."""
+        doc: Dict[str, object] = {
+            "schema": JOB_SCHEMA,
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "trace_id": self.trace_id,
+            "request": self.request,
+        }
+        if self.started_ns is not None and self.finished_ns is not None:
+            doc["elapsed_ms"] = (self.finished_ns - self.started_ns) / 1e6
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobStore:
+    """Thread-safe registry + executor for async jobs."""
+
+    def __init__(self, workers: int = 2):
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}        # insertion = submission order
+        self._seq = 0
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-serve-job")
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, kind: str, request: Dict[str, object], trace_id: str,
+               runner: Callable[[Job], Dict[str, object]]) -> Job:
+        """Register a job and hand it to the executor; returns it queued.
+
+        ``runner(job)`` computes the result document; it runs on an
+        executor thread under the job's context-local tracer.  Exceptions
+        become the job's structured ``error`` (state ``failed``) — they
+        never propagate into the serving thread.
+        """
+        with self._lock:
+            self._seq += 1
+            job = Job(f"job-{self._seq:06d}", kind, request, trace_id)
+            self._jobs[job.id] = job
+        self._executor.submit(self._run, job, runner)
+        return job
+
+    def _run(self, job: Job,
+             runner: Callable[[Job], Dict[str, object]]) -> None:
+        with self._lock:
+            if job.state != "queued":          # cancelled while queued
+                return
+            job.state = "running"
+            job.started_ns = time.perf_counter_ns()
+        try:
+            with use_tracer(job.tracer):
+                with job.tracer.span(f"serve.job.{job.kind}", job=job.id,
+                                     trace_id=job.trace_id):
+                    result = runner(job)
+        except Exception as exc:  # noqa: BLE001 — jobs must fail structured
+            with self._lock:
+                job.error = {"type": type(exc).__name__, "message": str(exc)}
+                job.state = "failed"
+                job.finished_ns = time.perf_counter_ns()
+            return
+        with self._lock:
+            job.result = result
+            job.state = "done"
+            job.finished_ns = time.perf_counter_ns()
+
+    # ---------------------------------------------------------------- access
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[bool]:
+        """True = cancelled; False = too late (running/terminal);
+        None = no such job."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state != "queued":
+                return False
+            job.state = "cancelled"
+            job.finished_ns = time.perf_counter_ns()
+            return True
+
+    def list_doc(self) -> Dict[str, object]:
+        """``GET /v1/jobs``: every job, in submission order."""
+        with self._lock:
+            jobs = [job.doc() for job in self._jobs.values()]
+        return {"schema": JOBS_SCHEMA, "jobs": jobs}
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return counts
+
+    # ------------------------------------------------------------- lifecycle
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)

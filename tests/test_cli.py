@@ -43,4 +43,13 @@ class TestCLI:
     def test_experiment_list_complete(self):
         assert set(EXPERIMENTS) >= {"table1", "table2", "fig7", "fig8",
                                     "figures", "endurance", "ablations",
-                                    "all", "info"}
+                                    "dse", "serve", "all", "info"}
+
+    def test_serve_forwards_to_serve_main(self, capsys):
+        # --help exercises the forwarding path without binding a socket.
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "python -m repro.serve" in out
+        assert "--window-ms" in out

@@ -61,6 +61,8 @@ def test_real_tree_hot_paths_are_contracted():
     contracted = {s.info.qualname for s in analysis.reentrant_functions()}
     for qualname in (
             "repro.dse.engine._evaluate_record",
+            "repro.dse.engine.evaluate_batch",
+            "repro.dse.engine.evaluate_one",
             "repro.dse.evaluate.evaluate_config",
             "repro.dse.evaluate.build_tech",
             "repro.dse.cache.DiskCache.lookup",
@@ -73,5 +75,10 @@ def test_real_tree_hot_paths_are_contracted():
             "repro.harness.table2.build_table2",
             "repro.harness.ablations.build_ablations",
             "repro.harness.endurance.build_endurance",
+            "repro.serve.schemas.error_doc",
+            "repro.serve.schemas.validate_evaluate_request",
+            "repro.serve.schemas.validate_sweep_request",
+            "repro.serve.schemas.build_sweep_spec",
+            "repro.serve.schemas.validate_experiment_request",
     ):
         assert qualname in contracted, f"{qualname} lost its contract"

@@ -217,3 +217,79 @@ class TestHarnessIntegration:
         names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
         assert "fig7.design" in names and "fig7.build" in names
         assert "Trace summary" in capsys.readouterr().out
+
+
+class TestContextLocalTracer:
+    """The contextvars-based tracer registry behind ``repro.serve``:
+    ``use_tracer`` routes module-level ``obs.span`` to a context-local
+    tracer without ever touching the process-global one."""
+
+    def test_use_tracer_scopes_span_routing(self):
+        local = Tracer(enabled=True)
+        assert obs.get_tracer() is obs.global_tracer()
+        with obs.use_tracer(local):
+            assert obs.get_tracer() is local
+            with obs.span("scoped") as sp:
+                sp.count(widgets=3)
+        assert obs.get_tracer() is obs.global_tracer()
+        (span,) = local.finished_spans()
+        assert span.name == "scoped"
+        assert span.counters == {"widgets": 3}
+        assert obs.global_tracer().finished_spans() == []
+
+    def test_use_tracer_nests_and_restores(self):
+        outer, inner = Tracer(enabled=True), Tracer(enabled=True)
+        with obs.use_tracer(outer):
+            with obs.use_tracer(inner):
+                with obs.span("deep"):
+                    pass
+            assert obs.get_tracer() is outer
+        assert [s.name for s in inner.finished_spans()] == ["deep"]
+        assert outer.finished_spans() == []
+
+    def test_tracing_enabled_follows_the_context_tracer(self):
+        assert not obs.tracing_enabled()
+        with obs.use_tracer(Tracer(enabled=True)):
+            assert obs.tracing_enabled()
+        assert not obs.tracing_enabled()
+
+    def test_configure_still_targets_the_global_tracer(self):
+        local = Tracer(enabled=True)
+        with obs.use_tracer(local):
+            obs.configure(enabled=True, reset=True)
+            assert local.enabled            # untouched by configure
+        assert obs.global_tracer().enabled
+        obs.configure(enabled=False, reset=True)
+
+    def test_interleaved_threads_never_cross_attach_counters(self):
+        """Regression for the serve-layer fix: two threads with their own
+        context tracers interleave spans; every span and counter lands on
+        its own tracer, parents stay within-thread."""
+        import threading
+
+        tracers = [Tracer(enabled=True), Tracer(enabled=True)]
+        barrier = threading.Barrier(2)
+
+        def run(i):
+            with obs.use_tracer(tracers[i]):
+                barrier.wait()
+                with obs.span("work", lane=i) as sp:
+                    barrier.wait()
+                    sp.count(steps=100 + i)
+                    with obs.span("step"):
+                        pass
+                    barrier.wait()
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        for i, tracer in enumerate(tracers):
+            spans = {s.name: s for s in tracer.finished_spans()}
+            assert set(spans) == {"work", "step"}
+            assert spans["work"].attrs == {"lane": i}
+            assert spans["work"].counters == {"steps": 100 + i}
+            assert spans["step"].parent == spans["work"].index
+        assert obs.global_tracer().finished_spans() == []

@@ -1,0 +1,214 @@
+"""Concurrency certification of ``repro.serve``.
+
+Many clients hammer one live server (real threads, real sockets) and the
+suite proves the coalescing story end to end:
+
+* every client gets **its own correct result** — the record for exactly
+  the config it posted, never a neighbor's;
+* simultaneous requests coalesce — engine calls (batches) < requests,
+  and identical configs inside one window collapse to a single
+  evaluation (cache ``stored`` counts actual evaluations);
+* the counters stay mutually consistent under load;
+* context-local tracers never cross-attach spans between interleaved
+  requests (the regression test for the ``repro.obs`` contextvars fix).
+"""
+
+import json
+import threading
+
+from repro.dse import (SMOKE_SPEC, config_key, dumps_canonical,
+                       evaluate_config, normalize_config)
+from repro import obs
+from repro.obs import Tracer, use_tracer
+
+from tests.serve_utils import live_server, wait_for_job
+
+#: Enough clients to exceed the acceptance floor (>= 8) with headroom.
+N_THREADS = 12
+
+#: A wide window so a barrier-released burst always lands in one batch.
+WIDE_WINDOW_S = 0.25
+
+
+def _post_evaluate(client, cfg, out, index):
+    status, doc, _ = client.post("/v1/evaluate", {"config": cfg})
+    out[index] = (status, doc)
+
+
+def _burst(client, configs):
+    """Release one request per config simultaneously; returns responses."""
+    out = [None] * len(configs)
+    barrier = threading.Barrier(len(configs))
+
+    def run(i, cfg):
+        barrier.wait()
+        _post_evaluate(client, cfg, out, i)
+
+    threads = [threading.Thread(target=run, args=(i, cfg))
+               for i, cfg in enumerate(configs)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert all(r is not None for r in out), "a client thread never returned"
+    return out
+
+
+class TestCoalescing:
+    def test_overlapping_clients_each_get_their_own_result(self, tmp_path):
+        distinct = SMOKE_SPEC.configs()[:4]
+        configs = [distinct[i % len(distinct)] for i in range(N_THREADS)]
+        with live_server(tmp_path, window_s=WIDE_WINDOW_S) as (app, client):
+            responses = _burst(client, configs)
+
+            for cfg, (status, doc) in zip(configs, responses):
+                assert status == 200
+                normalized = normalize_config(cfg)
+                assert doc["key"] == config_key(normalized)
+                assert doc["record"]["config"] == normalized
+                assert dumps_canonical(doc["record"]) \
+                    == dumps_canonical(evaluate_config(normalized))
+
+            stats = app.queue.stats()
+            assert stats["requests"] == N_THREADS
+            assert stats["batches"] < stats["requests"]
+            assert stats["coalesced"] > 0
+            assert stats["coalesced"] \
+                == stats["requests"] - stats["evaluated"]
+            # Identical configs never evaluate twice: the cache stores
+            # exactly one record per distinct config — coalescing absorbs
+            # duplicates inside a window, cache hits absorb the rest.
+            cache = app.cache.stats()
+            assert cache["stored"] == len(distinct)
+            assert cache["misses"] == len(distinct)
+            assert stats["evaluated"] >= len(distinct)
+
+    def test_warm_burst_is_all_cache_hits(self, tmp_path):
+        distinct = SMOKE_SPEC.configs()[:4]
+        configs = [distinct[i % len(distinct)] for i in range(N_THREADS)]
+        with live_server(tmp_path, window_s=WIDE_WINDOW_S) as (app, client):
+            _burst(client, configs)
+            stored_cold = app.cache.stats()["stored"]
+            responses = _burst(client, configs)
+            assert all(doc["cache"] == "hit" for _, doc in responses)
+            cache = app.cache.stats()
+            assert cache["stored"] == stored_cold      # nothing re-evaluated
+            assert cache["hits"] > 0
+
+    def test_every_trace_id_is_unique(self, tmp_path):
+        configs = SMOKE_SPEC.configs()[:1] * N_THREADS
+        with live_server(tmp_path, window_s=WIDE_WINDOW_S) as (app, client):
+            responses = _burst(client, configs)
+            trace_ids = [doc["trace_id"] for _, doc in responses]
+            assert len(set(trace_ids)) == N_THREADS
+            # One config, one window: a single evaluation served them all.
+            assert app.cache.stats()["stored"] == 1
+
+    def test_batch_info_is_shared_and_consistent(self, tmp_path):
+        distinct = SMOKE_SPEC.configs()[:3]
+        configs = [distinct[i % len(distinct)] for i in range(9)]
+        with live_server(tmp_path, window_s=WIDE_WINDOW_S) as (app, client):
+            responses = _burst(client, configs)
+            by_batch = {}
+            for _, doc in responses:
+                by_batch.setdefault(doc["batch"]["index"], []).append(
+                    doc["batch"])
+            for infos in by_batch.values():
+                # Everyone in a batch sees the same requests/unique info,
+                # and the batch really did coalesce its members.
+                assert len({json.dumps(i, sort_keys=True)
+                            for i in infos}) == 1
+                assert infos[0]["requests"] == len(infos)
+                assert infos[0]["unique"] <= infos[0]["requests"]
+
+
+class TestConcurrentJobs:
+    def test_parallel_sweep_jobs_all_finish_correctly(self, tmp_path):
+        request = {"preset": "smoke", "overrides": {"patterns": ["1:8"],
+                                                    "bus_bits": [64]}}
+        with live_server(tmp_path, window_s=0.005,
+                         job_workers=4) as (app, client):
+            jobs = [client.post("/v1/sweep", request)[1]
+                    for _ in range(4)]
+            assert len({j["id"] for j in jobs}) == 4
+            frontiers = set()
+            for job in jobs:
+                done = wait_for_job(client, job["id"])
+                assert done["state"] == "done", done.get("error")
+                _, result, _ = client.get(f"/v1/jobs/{job['id']}/result")
+                frontiers.add(dumps_canonical(result["result"]["frontier"]))
+            assert len(frontiers) == 1    # determinism under contention
+
+
+class TestTracerIsolation:
+    """Regression tests for the context-local tracer fix in ``repro.obs``:
+    interleaved spans on different threads must never cross-attach
+    counters or parents."""
+
+    def test_interleaved_spans_never_cross_attach(self):
+        tracers = [Tracer(enabled=True), Tracer(enabled=True)]
+        barrier = threading.Barrier(2)
+
+        def run(i):
+            with use_tracer(tracers[i]):
+                barrier.wait()                 # both threads inside spans
+                with obs.span(f"outer-{i}", thread=i) as outer:
+                    outer.count(items=10 + i)
+                    barrier.wait()             # interleave the inner spans
+                    with obs.span(f"inner-{i}") as inner:
+                        inner.count(items=1 + i)
+                    barrier.wait()
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        for i, tracer in enumerate(tracers):
+            spans = {s.name: s for s in tracer.finished_spans()}
+            assert set(spans) == {f"outer-{i}", f"inner-{i}"}
+            assert spans[f"outer-{i}"].counters == {"items": 10 + i}
+            assert spans[f"inner-{i}"].counters == {"items": 1 + i}
+            assert spans[f"inner-{i}"].parent == spans[f"outer-{i}"].index
+
+    def test_context_tracer_does_not_leak_to_new_threads(self):
+        """Threads started inside ``use_tracer`` fall back to the global
+        tracer: contextvars do not propagate into new threads, which is
+        exactly the isolation the threaded server relies on."""
+        local = Tracer(enabled=True)
+        seen = []
+
+        def child():
+            seen.append(obs.get_tracer())
+
+        with use_tracer(local):
+            assert obs.get_tracer() is local
+            t = threading.Thread(target=child)
+            t.start()
+            t.join(timeout=10)
+        assert obs.get_tracer() is obs.global_tracer()
+        assert seen == [obs.global_tracer()]
+
+    def test_server_request_spans_stay_off_the_global_tracer(self, tmp_path):
+        obs.configure(enabled=True, reset=True)
+        try:
+            with live_server(tmp_path,
+                             window_s=WIDE_WINDOW_S) as (app, client):
+                configs = SMOKE_SPEC.configs()[:2] * 3
+                responses = _burst(client, configs)
+                traced = client.post(
+                    "/v1/evaluate",
+                    {"config": SMOKE_SPEC.configs()[0], "trace": True})[1]
+            names = [s["name"] for s in traced["trace"]["spans"]]
+            assert "serve.request" in names and "serve.queue.wait" in names
+            batch_names = {s["name"]
+                           for s in traced["trace"]["batch_spans"]}
+            assert "serve.batch" in batch_names
+            # Nothing the server did landed on the process-global tracer.
+            global_names = {s.name for s in
+                            obs.global_tracer().finished_spans()}
+            assert not {n for n in global_names
+                        if n.startswith(("serve.", "dse."))}
+        finally:
+            obs.configure(enabled=False, reset=True)
