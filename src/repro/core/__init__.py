@@ -10,6 +10,7 @@ Analytical layer (paper-scale area/power/EDP):
 """
 
 from .accelerator import HybridAccelerator, MappedGemm
+from .concurrency import guarded_by, holds_no_locks
 from .effects import effects, reentrant
 from .bitcell_array import BitCellArray, BitLevelSparsePE
 from .bitserial import from_partials, plane_weight, to_bit_planes
@@ -55,4 +56,5 @@ __all__ = [
     "BusConfig", "SharedBus", "broadcast_vs_unicast",
     "DesignPoint", "explore", "pareto_front",
     "reentrant", "effects",
+    "guarded_by", "holds_no_locks",
 ]

@@ -134,9 +134,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if result["configs"] and len(result["errors"]) == result["configs"]:
         print("error: every config failed", file=sys.stderr)
         return 1
-    if args.min_cache_hits is not None \
-            and cache.hits < args.min_cache_hits:
-        print(f"error: {cache.hits} cache hits < required "
+    hits = cache.stats()["hits"]
+    if args.min_cache_hits is not None and hits < args.min_cache_hits:
+        print(f"error: {hits} cache hits < required "
               f"{args.min_cache_hits}", file=sys.stderr)
         return 2
     return 0

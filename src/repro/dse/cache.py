@@ -21,8 +21,10 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import Dict, Optional
+import threading
+from typing import Dict, Optional, Tuple
 
+from ..core.concurrency import guarded_by
 from ..core.effects import reentrant
 from .evaluate import RECORD_SCHEMA
 from .spec import canonical_json
@@ -39,8 +41,21 @@ def record_checksum(record: Dict[str, object]) -> str:
     return hashlib.sha256(canonical_json(record).encode("ascii")).hexdigest()
 
 
+@guarded_by("_lock", "hits", "misses", "rejected", "stored")
 class DiskCache:
-    """Keyed record store with hit/miss/rejection accounting."""
+    """Keyed record store with hit/miss/rejection accounting.
+
+    One instance is shared by every request-handler thread behind the
+    serve layer's batching queue, so the counters are guarded by
+    ``_lock`` (declared above, verified by lint rule R11).  File IO
+    stays *outside* the lock (rule R12): entry bytes are self-validating
+    and writes are atomic ``tmp + os.replace``, so the lock only has to
+    make the accounting consistent, never the files.
+
+    The cache never crosses a process boundary — sweep shards receive
+    bare config dicts, not the cache — so holding an (unpicklable) lock
+    here does not conflict with rule R10 worker-shippability.
+    """
 
     def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR,
                  enabled: bool = True, refresh: bool = False):
@@ -49,6 +64,7 @@ class DiskCache:
         #: ``refresh=True``: ignore existing entries (recompute) but still
         #: store the fresh results — the ``--refresh`` escape hatch.
         self.refresh = refresh
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.rejected = 0
@@ -68,43 +84,49 @@ class DiskCache:
         caller recomputes, then :meth:`store` overwrites the bad entry.
         """
         if not self.enabled or self.refresh:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        record = self._validated(key)
-        if record is None:
-            self.misses += 1
-            return None
-        self.hits += 1
+        record, rejected = self._validated(key)      # file IO, lock-free
+        with self._lock:
+            if rejected:
+                self.rejected += 1
+            if record is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return record
 
-    def _validated(self, key: str) -> Optional[Dict[str, object]]:
+    def _validated(self, key: str
+                   ) -> Tuple[Optional[Dict[str, object]], bool]:
+        """``(record, rejected)`` from the entry file, touching no counters.
+
+        ``rejected`` is True when a file existed but failed validation
+        (the caller accounts for it under the lock); a missing file is
+        ``(None, False)`` — a plain miss.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except FileNotFoundError:
-            return None
+            return None, False
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.rejected += 1
-            return None
+            return None, True
         if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
-            self.rejected += 1
-            return None
+            return None, True
         record = entry.get("record")
         if (entry.get("key") != key or not isinstance(record, dict)
                 or record.get("schema") != RECORD_SCHEMA
                 or record.get("key") != key):
-            self.rejected += 1
-            return None
+            return None, True
         try:
             checksum = record_checksum(record)
         except (TypeError, ValueError):
-            self.rejected += 1
-            return None
+            return None, True
         if entry.get("checksum") != checksum:
-            self.rejected += 1
-            return None
-        return record
+            return None, True
+        return record, False
 
     # ----------------------------------------------------------------- write
     @reentrant(reason="atomic tmp+replace write: safe under concurrent "
@@ -125,14 +147,16 @@ class DiskCache:
             json.dump(entry, fh, indent=2, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, path)
-        self.stored += 1
+        with self._lock:
+            self.stored += 1
 
     # ------------------------------------------------------------------ misc
     def stats(self) -> Dict[str, object]:
-        return {"enabled": self.enabled, "refresh": self.refresh,
-                "root": str(self.root), "hits": self.hits,
-                "misses": self.misses, "rejected": self.rejected,
-                "stored": self.stored}
+        with self._lock:
+            return {"enabled": self.enabled, "refresh": self.refresh,
+                    "root": str(self.root), "hits": self.hits,
+                    "misses": self.misses, "rejected": self.rejected,
+                    "stored": self.stored}
 
 
 class NullCache(DiskCache):

@@ -25,6 +25,7 @@ from __future__ import annotations
 import concurrent.futures
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.concurrency import holds_no_locks
 from ..core.effects import reentrant
 from ..obs import get_tracer
 from .cache import DiskCache
@@ -73,6 +74,8 @@ def _evaluate_many(configs: Sequence[Dict[str, object]],
         return [_evaluate_record(cfg) for cfg in configs]
 
 
+@holds_no_locks(reason="file IO plus a possibly process-pooled evaluation "
+                       "pass: callers must never enter this under a lock")
 @reentrant(reason="the cache-through evaluation core shared by run_sweep "
                   "and the serve layer's batching queue: results must be "
                   "a function of the (key, config) list and cache bytes "
@@ -133,6 +136,8 @@ def evaluate_one(config: Mapping[str, object],
     return records[key], served[key]
 
 
+@holds_no_locks(reason="drives evaluate_batch (blocking engine work) and "
+                       "must be entered lock-free for the same reason")
 def run_sweep(spec: Optional[SweepSpec] = None,
               configs: Optional[Sequence[Mapping[str, object]]] = None,
               workers: int = 1,

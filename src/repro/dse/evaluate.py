@@ -13,6 +13,7 @@ the config alone.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, Mapping
 
 from ..core.designs import HybridSparseDesign
@@ -30,8 +31,11 @@ METRIC_KEYS = ("area_mm2", "density", "inference_latency_s",
                "inference_power_mw", "training_edp_js", "training_latency_s")
 
 #: Per-process workload cache: paper-scale extraction is cheap but not free,
-#: and a sharded sweep evaluates thousands of configs per worker.
+#: and a sharded sweep evaluates thousands of configs per worker.  Written
+#: only under ``_WORKLOADS_LOCK`` — concurrent serve threads reach this
+#: memo through the batching worker (lint rule R14 tracks the path).
 _WORKLOADS: Dict[str, Workload] = {}
+_WORKLOADS_LOCK = threading.Lock()
 
 
 @effects("READS_GLOBAL",
@@ -40,11 +44,12 @@ _WORKLOADS: Dict[str, Workload] = {}
                 "so concurrent or repeated calls observe identical results; "
                 "callers see a pure lookup")
 def get_workload(name: str) -> Workload:
-    if name not in _WORKLOADS:
-        if name != "paper":
-            raise ValueError(f"unknown workload {name!r}")
-        _WORKLOADS[name] = paper_workload()
-    return _WORKLOADS[name]
+    with _WORKLOADS_LOCK:
+        if name not in _WORKLOADS:
+            if name != "paper":
+                raise ValueError(f"unknown workload {name!r}")
+            _WORKLOADS[name] = paper_workload()
+        return _WORKLOADS[name]
 
 
 @reentrant(reason="sharded sweeps build tech variants in every worker")

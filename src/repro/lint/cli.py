@@ -5,7 +5,8 @@ or warning) survives suppressions, 2 on usage errors.  CI gates on this.
 
 ``--dataflow`` adds the opt-in flow-sensitive verifier (rules R6/R7) to
 the run; ``--effects`` adds the interprocedural effect & reentrancy
-verifier (rules R8/R9/R10); the two can be combined.
+verifier (rules R8/R9/R10); ``--concurrency`` adds the static
+concurrency verifier (rules R11-R14); the switches combine freely.
 ``--list-suppressions`` audits every suppression pragma instead of
 linting; ``--strict`` escalates stale pragmas — pragmas that suppress
 nothing — into failures (as S1 findings in a lint run, as exit status 1
@@ -55,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(rules R8 reentrancy, R9 cache-key-completeness, "
              "R10 worker-shippability)")
     parser.add_argument(
+        "--concurrency", action="store_true",
+        help="also run the static concurrency verifier (rules R11 "
+             "guarded-field-discipline, R12 no-blocking-while-locked, "
+             "R13 deadlock-freedom, R14 thread-hygiene)")
+    parser.add_argument(
         "--strict", action="store_true",
         help="treat stale suppression pragmas (ones that suppress "
              "nothing) as failures")
@@ -88,6 +94,8 @@ def _optin_groups(args):
         groups.append("dataflow")
     if args.effects:
         groups.append("effects")
+    if args.concurrency:
+        groups.append("concurrency")
     return groups or False
 
 

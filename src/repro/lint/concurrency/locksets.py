@@ -1,0 +1,821 @@
+"""Per-function lockset transfer: structured walk with held-lock sets.
+
+The dataflow package's CFG flattens ``with`` blocks, which is exactly the
+structure a lockset analysis needs, so this walker works on the
+structured AST instead: it threads a *must-hold* set of lock identities
+through each statement — ``with lock:`` scopes it, branch join is
+intersection, ``acquire()``/``release()`` adjust it straight-line — and
+records every fact the interprocedural analysis and rules R11-R14
+consume, each stamped with the lockset held at that point:
+
+* guarded-field accesses (R11),
+* call sites, including *deferred* ones (thread targets, executor
+  submissions, lambda bodies) that run later on another thread and
+  therefore start from an empty lockset,
+* lock acquisitions with the set held just before (R13 order edges),
+* blocking operations with the locks they release while blocked (R12 —
+  ``Condition.wait`` drops its own lock),
+* thread construction/join and wait-discipline facts (R14),
+* module-global writes (R14's "mutable state touched from a thread
+  target needs a lock" check).
+
+Receiver typing goes through the model's per-class tables plus a local
+flow-insensitive environment (parameter annotations with ``Optional``
+unwrap, constructor-call locals, return-annotation typing, dict-value
+element typing), so ``self.jobs.get(...).state`` -style chains resolve
+without importing the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..astutil import call_keyword, dotted_name
+from ..effects.callgraph import CallGraph, FunctionInfo
+from .model import (BLOCKING_SYNC_METHODS, LOCK_KINDS, ProjectModel,
+                    _sync_kind_of_call, is_blocking_external, lock_id,
+                    resolve_annotation, short_lock)
+
+EMPTY: FrozenSet[str] = frozenset()
+
+#: Dict methods that return / iterate the value type.
+_DICT_VALUE_METHODS = frozenset({"get", "pop", "setdefault"})
+_DICT_ITER_METHODS = frozenset({"values"})
+
+#: Container-mutating methods (module-global hygiene, R14).
+_MUTATING_METHODS = frozenset({
+    "append", "add", "update", "setdefault", "pop", "popitem", "clear",
+    "extend", "insert", "remove", "discard", "appendleft",
+})
+
+
+# ---------------------------------------------------------------------------
+# Facts
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class FieldAccess:
+    """A read or write of a ``@guarded_by``-declared field."""
+    line: int
+    owner: str                 # class qualname declaring the field
+    field: str
+    lock: str                  # required lock identity
+    write: bool
+    held: FrozenSet[str]
+
+
+@dataclasses.dataclass
+class CallSite:
+    """A resolved call edge, stamped with the locks held at the site."""
+    line: int
+    callee: str
+    held: FrozenSet[str]
+    #: Deferred sites (thread targets, executor submissions, lambda
+    #: bodies) run later on another thread: they seed entry locksets
+    #: (with an empty held set) and R14 reachability, but do not make
+    #: the *enclosing* function block or acquire anything.
+    deferred: bool = False
+    via: str = "call"
+
+
+@dataclasses.dataclass
+class Acquire:
+    """One lock acquisition (``with`` item or ``.acquire()``)."""
+    line: int
+    lock: str
+    kind: str
+    held_before: FrozenSet[str]
+    deferred: bool = False      # inside a lambda / nested def body
+
+
+@dataclasses.dataclass
+class BlockOp:
+    """A blocking leaf: detail + locks released while blocked."""
+    line: int
+    detail: str
+    held: FrozenSet[str]
+    releases: FrozenSet[str] = EMPTY
+
+
+@dataclasses.dataclass
+class ThreadFact:
+    """A ``threading.Thread(...)`` construction."""
+    line: int
+    daemon: Optional[bool]      # literal True/False, None when absent/opaque
+    target: Optional[str]       # resolved target qualname
+    binding: Optional[Tuple]    # ("attr", class_qual, attr) | ("local", name)
+
+
+@dataclasses.dataclass
+class JoinFact:
+    """A ``.join()`` on a thread-typed receiver."""
+    line: int
+    binding: Tuple              # matches ThreadFact.binding
+
+
+@dataclasses.dataclass
+class WaitFact:
+    """A ``Condition.wait``/``Event.wait`` discipline fact."""
+    line: int
+    kind: str                   # "condition" | "event"
+    in_loop: bool
+    has_timeout: bool
+    lock: str                   # the receiver's lock identity
+
+
+@dataclasses.dataclass
+class GlobalWrite:
+    """A write/mutation of module-level mutable state."""
+    line: int
+    name: str                   # module-qualified global name
+    detail: str
+    held: FrozenSet[str]
+
+
+@dataclasses.dataclass
+class FunctionFacts:
+    info: FunctionInfo
+    accesses: List[FieldAccess] = dataclasses.field(default_factory=list)
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    acquires: List[Acquire] = dataclasses.field(default_factory=list)
+    blocks: List[BlockOp] = dataclasses.field(default_factory=list)
+    threads: List[ThreadFact] = dataclasses.field(default_factory=list)
+    joins: List[JoinFact] = dataclasses.field(default_factory=list)
+    waits: List[WaitFact] = dataclasses.field(default_factory=list)
+    global_writes: List[GlobalWrite] = dataclasses.field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# The walker
+# ---------------------------------------------------------------------------
+
+def analyze_function(model: ProjectModel, info: FunctionInfo) -> FunctionFacts:
+    walker = _Walker(model, info)
+    walker.run()
+    return walker.facts
+
+
+class _Walker:
+    def __init__(self, model: ProjectModel, info: FunctionInfo):
+        self.model = model
+        self.graph: CallGraph = model.graph
+        self.info = info
+        self.facts = FunctionFacts(info=info)
+        self.own_class = (f"{info.module}.{info.class_name}"
+                          if info.class_name else None)
+        self.env: Dict[str, Tuple] = {}
+        self.local_names: Set[str] = set()
+        self.declared_globals: Set[str] = set()
+        self.loop_depth = 0
+        self.deferred_depth = 0
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> None:
+        self._build_env()
+        self._walk_body(self.info.node.body, EMPTY)
+
+    # ----------------------------------------------------- local environment
+    def _build_env(self) -> None:
+        node = self.info.node
+        args = node.args
+        for a in (list(getattr(args, "posonlyargs", [])) + list(args.args)
+                  + list(args.kwonlyargs)
+                  + [x for x in (args.vararg, args.kwarg) if x]):
+            self.local_names.add(a.arg)
+            if a.annotation is not None:
+                typed = resolve_annotation(self.graph, self.info.module,
+                                           a.annotation)
+                if typed is not None:
+                    self.env[a.arg] = typed
+        # Two passes so x = self.jobs.get(...) typed in pass 1 feeds
+        # y = x.tracer -style chains in pass 2.
+        for _ in range(2):
+            for sub in ast.walk(node):
+                self._env_statement(sub)
+
+    def _env_statement(self, sub: ast.AST) -> None:
+        if isinstance(sub, ast.Global):
+            self.declared_globals.update(sub.names)
+        elif isinstance(sub, ast.Assign) and len(sub.targets) == 1 \
+                and isinstance(sub.targets[0], ast.Name):
+            name = sub.targets[0].id
+            self.local_names.add(name)
+            typed = self._expr_type(sub.value)
+            if typed is None:
+                # Function-local sync object: lock = threading.Lock().
+                kind = _sync_kind_of_call(self.graph, self.info.module,
+                                          sub.value)
+                if kind is not None:
+                    typed = ("sync", kind,
+                             lock_id(self.info.qualname, name))
+            if typed is not None:
+                self.env[name] = typed
+        elif isinstance(sub, ast.AnnAssign) \
+                and isinstance(sub.target, ast.Name):
+            self.local_names.add(sub.target.id)
+            typed = resolve_annotation(self.graph, self.info.module,
+                                       sub.annotation)
+            if typed is not None:
+                self.env[sub.target.id] = typed
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            self._bind_iter_target(sub.target, sub.iter)
+        elif isinstance(sub, ast.comprehension):
+            self._bind_iter_target(sub.target, sub.iter)
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            if isinstance(sub.optional_vars, ast.Name):
+                self.local_names.add(sub.optional_vars.id)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            self.local_names.add(sub.name)
+
+    def _bind_iter_target(self, target: ast.expr, it: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        self.local_names.add(target.id)
+        elem = self._element_type(it)
+        if elem is not None:
+            self.env[target.id] = elem
+
+    def _element_type(self, it: ast.expr) -> Optional[Tuple]:
+        """Loop-variable type when iterating a typed container."""
+        typed = self._expr_type(it)
+        if typed is not None and typed[0] == "list_of":
+            return ("instance", typed[1])
+        if isinstance(it, ast.Call) and isinstance(it.func, ast.Attribute) \
+                and it.func.attr in _DICT_ITER_METHODS:
+            base = self._expr_type(it.func.value)
+            if base is not None and base[0] == "dict_of":
+                return ("instance", base[1])
+        return None
+
+    def _expr_type(self, expr: Optional[ast.expr]) -> Optional[Tuple]:
+        """Flow-insensitive type of an expression, or None.
+
+        Tags: ("instance", qual), ("dict_of", qual), ("list_of", qual),
+        ("sync", kind, lock_identity), ("future",).
+        """
+        if expr is None:
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self._expr_type(expr.body) or self._expr_type(expr.orelse)
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.own_class:
+                return ("instance", self.own_class)
+            if expr.id in self.env:
+                return self.env[expr.id]
+            if expr.id in self.local_names:
+                return None
+            return self._module_value_type(self.info.module, expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._expr_type(expr.value)
+            if base is None and isinstance(expr.value, ast.Name) \
+                    and expr.value.id not in self.local_names:
+                # Dotted module global: mod.NAME
+                resolved = self.graph.resolve_name(self.info.module,
+                                                   expr.value.id)
+                if resolved is not None and resolved[0] == "module":
+                    mid = lock_id(resolved[1], expr.attr)
+                    if mid in self.model.module_sync:
+                        return ("sync", self.model.module_sync[mid], mid)
+                    return self._module_value_type(resolved[1], expr.attr)
+                return None
+            if base is not None and base[0] == "instance":
+                owner = base[1]
+                sync = self.model.sync_owner(owner, expr.attr)
+                if sync is not None:
+                    kind, defining = sync
+                    return ("sync", kind, lock_id(defining, expr.attr))
+                return self.model.attr_type(owner, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr)
+        return None
+
+    def _module_value_type(self, module: str, name: str) -> Optional[Tuple]:
+        """Type of a module-level binding (sync object or instance)."""
+        mid = lock_id(module, name)
+        if mid in self.model.module_sync:
+            return ("sync", self.model.module_sync[mid], mid)
+        mod = self.graph.modules.get(module)
+        if mod is None:
+            return None
+        for stmt in mod.tree.body:
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and stmt.targets[0].id == name:
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == name:
+                if stmt.annotation is not None:
+                    typed = resolve_annotation(self.graph, module,
+                                               stmt.annotation)
+                    if typed is not None:
+                        return typed
+                value = stmt.value
+            if isinstance(value, ast.Call):
+                dotted = dotted_name(value.func)
+                resolved = (self.graph.resolve_dotted(module, dotted)
+                            if dotted else None)
+                if resolved is not None and resolved[0] == "class":
+                    return ("instance", resolved[1])
+        return None
+
+    def _call_type(self, call: ast.Call) -> Optional[Tuple]:
+        target = self._resolve_call(call)
+        if target is None:
+            return None
+        tag = target[0]
+        if tag == "ctor":
+            return ("instance", target[1])
+        if tag == "func":
+            fn = self.graph.function_for(target[1])
+            if fn is not None and getattr(fn.node, "returns", None) is not None:
+                return resolve_annotation(self.graph, fn.module,
+                                          fn.node.returns)
+            return None
+        if tag == "dictop" and target[2] in _DICT_VALUE_METHODS:
+            return ("instance", target[1])
+        if tag == "sync" and target[1] == "executor" \
+                and target[3] == "submit":
+            return ("future",)
+        return None
+
+    # --------------------------------------------------------- call targets
+    def _resolve_call(self, call: ast.Call) -> Optional[Tuple]:
+        """Classify a call's target.
+
+        Tags: ("func", qual), ("ctor", class_qual), ("external", dotted),
+        ("sync", kind, lock_identity, method), ("dictop", qual, method),
+        ("future-op", method), ("fanout", (qual, ...)).
+        """
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        # Typed head: self, a typed local, or a module-level sync object.
+        base_type = None
+        if head == "self" and self.own_class:
+            base_type = ("instance", self.own_class)
+        elif head in self.env:
+            base_type = self.env[head]
+        elif head in self.local_names:
+            return None
+        if base_type is not None:
+            return self._resolve_typed(base_type, parts[1:])
+        mid = lock_id(self.info.module, head)
+        if len(parts) == 2 and mid in self.model.module_sync:
+            return ("sync", self.model.module_sync[mid], mid, parts[1])
+        resolved = self.graph.resolve_dotted(self.info.module, dotted)
+        if resolved is None:
+            typed = self._module_value_type(self.info.module, head)
+            if typed is not None:
+                return self._resolve_typed(typed, parts[1:])
+            return None
+        if resolved[0] == "func":
+            return ("func", resolved[1])
+        if resolved[0] == "class":
+            return ("ctor", resolved[1])
+        if resolved[0] == "external":
+            return ("external", resolved[1])
+        if resolved[0] == "registry":
+            return ("fanout", resolved[1])
+        if resolved[0] == "module" and len(parts) >= 3:
+            mid = lock_id(resolved[1], parts[1])
+            if mid in self.model.module_sync and len(parts) == 3:
+                return ("sync", self.model.module_sync[mid], mid, parts[2])
+        return None
+
+    def _resolve_typed(self, base_type: Tuple,
+                       attrs: List[str]) -> Optional[Tuple]:
+        """Follow ``attrs`` from a typed base down to a call target."""
+        if not attrs:
+            return None
+        if base_type[0] == "sync":
+            if len(attrs) == 1:
+                return ("sync", base_type[1], base_type[2], attrs[0])
+            return None
+        if base_type[0] == "future":
+            if len(attrs) == 1:
+                return ("future-op", attrs[0])
+            return None
+        if base_type[0] == "dict_of":
+            if len(attrs) == 1:
+                return ("dictop", base_type[1], attrs[0])
+            return None
+        if base_type[0] != "instance":
+            return None
+        owner = base_type[1]
+        if len(attrs) == 1:
+            method = self.graph.lookup_method(owner, attrs[0])
+            if method is not None:
+                return ("func", method.qualname)
+            return None
+        attr = attrs[0]
+        sync = self.model.sync_owner(owner, attr)
+        if sync is not None:
+            kind, defining = sync
+            return self._resolve_typed(
+                ("sync", kind, lock_id(defining, attr)), attrs[1:])
+        typed = self.model.attr_type(owner, attr)
+        if typed is not None:
+            return self._resolve_typed(typed, attrs[1:])
+        return None
+
+    # ----------------------------------------------------------- lock exprs
+    def _lock_of_expr(self, expr: ast.expr) -> Optional[Tuple[str, str]]:
+        """(lock identity, kind) when ``expr`` denotes a mutex."""
+        typed = self._expr_type(expr)
+        if typed is not None and typed[0] == "sync" \
+                and typed[1] in LOCK_KINDS:
+            return typed[2], typed[1]
+        return None
+
+    # ------------------------------------------------------- statement walk
+    def _walk_body(self, body: List[ast.stmt],
+                   held: FrozenSet[str]) -> FrozenSet[str]:
+        current = held
+        for stmt in body:
+            current = self._walk_stmt(stmt, current)
+        return current
+
+    def _walk_stmt(self, stmt: ast.stmt,
+                   held: FrozenSet[str]) -> FrozenSet[str]:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._walk_with(stmt, held)
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, held)
+            after_body = self._walk_body(stmt.body, held)
+            after_else = self._walk_body(stmt.orelse, held)
+            return after_body & after_else
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            if isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, held)
+            else:
+                self._scan_expr(stmt.iter, held)
+            self.loop_depth += 1
+            try:
+                self._walk_body(stmt.body, held)
+            finally:
+                self.loop_depth -= 1
+            self._walk_body(stmt.orelse, held)
+            return held
+        if isinstance(stmt, ast.Try):
+            after_body = self._walk_body(stmt.body, held)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body, held)
+            self._walk_body(stmt.orelse, after_body)
+            self._walk_body(stmt.finalbody, held)
+            return after_body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk_deferred(stmt.body)
+            return held
+        if isinstance(stmt, ast.ClassDef):
+            return held
+        if isinstance(stmt, ast.Return):
+            self._scan_expr(stmt.value, held)
+            return held
+        if isinstance(stmt, ast.Raise):
+            self._scan_expr(stmt.exc, held)
+            self._scan_expr(stmt.cause, held)
+            return held
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value, held)
+            for target in stmt.targets:
+                self._scan_store(target, held)
+            self._note_thread_binding(stmt, held)
+            return self._straightline_sync(stmt, held)
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(stmt.value, held)
+            self._scan_store(stmt.target, held)
+            return held
+        if isinstance(stmt, ast.AnnAssign):
+            self._scan_expr(stmt.value, held)
+            if stmt.value is not None:
+                self._scan_store(stmt.target, held)
+            return held
+        if isinstance(stmt, ast.Expr):
+            self._scan_expr(stmt.value, held)
+            return self._straightline_sync(stmt, held)
+        if isinstance(stmt, (ast.Assert,)):
+            self._scan_expr(stmt.test, held)
+            self._scan_expr(stmt.msg, held)
+            return held
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._scan_store(target, held)
+            return held
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.expr):
+                self._scan_expr(value, held)
+        return held
+
+    def _walk_with(self, stmt, held: FrozenSet[str]) -> FrozenSet[str]:
+        current = held
+        acquired_here: List[str] = []
+        for item in stmt.items:
+            lock = self._lock_of_expr(item.context_expr)
+            if lock is not None:
+                identity, kind = lock
+                self.facts.acquires.append(Acquire(
+                    line=item.context_expr.lineno, lock=identity, kind=kind,
+                    held_before=current,
+                    deferred=self.deferred_depth > 0))
+                current = current | {identity}
+                acquired_here.append(identity)
+            else:
+                self._scan_expr(item.context_expr, current)
+        after = self._walk_body(stmt.body, current)
+        return after - frozenset(acquired_here)
+
+    def _straightline_sync(self, stmt: ast.stmt,
+                           held: FrozenSet[str]) -> FrozenSet[str]:
+        """Track bare ``lock.acquire()`` / ``lock.release()`` statements."""
+        value = getattr(stmt, "value", None)
+        if not isinstance(value, ast.Call):
+            return held
+        target = self._resolve_call(value)
+        if target is None or target[0] != "sync" \
+                or target[1] not in LOCK_KINDS:
+            return held
+        _, kind, identity, method = target
+        if method == "acquire":
+            self.facts.acquires.append(Acquire(
+                line=value.lineno, lock=identity, kind=kind,
+                held_before=held, deferred=self.deferred_depth > 0))
+            return held | {identity}
+        if method == "release":
+            return held - {identity}
+        return held
+
+    def _note_thread_binding(self, stmt: ast.Assign,
+                             held: FrozenSet[str]) -> None:
+        """Attach the storage binding to a just-recorded ThreadFact."""
+        if not (self.facts.threads and len(stmt.targets) == 1
+                and isinstance(stmt.value, ast.Call)):
+            return
+        fact = self.facts.threads[-1]
+        if fact.line != stmt.value.lineno or fact.binding is not None:
+            return
+        target = stmt.targets[0]
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self" and self.own_class:
+            fact.binding = ("attr", self.own_class, target.attr)
+        elif isinstance(target, ast.Name):
+            fact.binding = ("local", target.id)
+
+    # ------------------------------------------------------ expression scan
+    def _scan_expr(self, expr: Optional[ast.expr],
+                   held: FrozenSet[str]) -> None:
+        if expr is None:
+            return
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                self._walk_deferred([ast.Expr(value=node.body)])
+                continue
+            if isinstance(node, ast.Call):
+                self._record_call(node, held)
+            elif isinstance(node, ast.Attribute):
+                self._record_access(node, held,
+                                    write=isinstance(node.ctx,
+                                                     (ast.Store, ast.Del)))
+            elif isinstance(node, ast.Name):
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    self._record_name_store(node, held)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _walk_deferred(self, body: List[ast.stmt]) -> None:
+        """Walk a later-executed body (lambda / nested def) with held = {}."""
+        self.deferred_depth += 1
+        try:
+            self._walk_body(body, EMPTY)
+        finally:
+            self.deferred_depth -= 1
+
+    def _scan_store(self, target: ast.expr, held: FrozenSet[str]) -> None:
+        self._scan_expr(target, held)
+        # Subscript/attribute stores on module globals: d[k] = v, g.x = v.
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name) and base is not target:
+            self._record_global_mutation(base, target.lineno,
+                                         "item/attribute store", held)
+
+    def _record_name_store(self, node: ast.Name,
+                           held: FrozenSet[str]) -> None:
+        if node.id in self.declared_globals:
+            self.facts.global_writes.append(GlobalWrite(
+                line=node.lineno,
+                name=lock_id(self.info.module, node.id),
+                detail=f"rebinds module global {node.id!r}", held=held))
+
+    def _record_global_mutation(self, base: ast.Name, line: int,
+                                how: str, held: FrozenSet[str]) -> None:
+        if base.id in self.local_names or base.id == "self":
+            return
+        resolved = self.graph.resolve_name(self.info.module, base.id)
+        if resolved is not None and resolved[0] == "global" \
+                and resolved[1] in ("mutable", "object"):
+            self.facts.global_writes.append(GlobalWrite(
+                line=line, name=lock_id(self.info.module, base.id),
+                detail=f"{how} on module global {base.id!r}", held=held))
+
+    # ------------------------------------------------------------ accesses
+    def _record_access(self, node: ast.Attribute, held: FrozenSet[str],
+                       write: bool) -> None:
+        base_type = self._expr_type(node.value)
+        if base_type is None or base_type[0] != "instance":
+            return
+        owner = base_type[1]
+        lock = self.model.guard_for(owner, node.attr)
+        if lock is None:
+            return
+        # Construction is pre-publication: no other thread can see the
+        # object while __init__ runs, so R11 exempts constructors.
+        if self.info.name in ("__init__", "__post_init__", "__new__") \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return
+        self.facts.accesses.append(FieldAccess(
+            line=node.lineno, owner=owner, field=node.attr, lock=lock,
+            write=write, held=held))
+
+    # --------------------------------------------------------------- calls
+    def _record_call(self, call: ast.Call, held: FrozenSet[str]) -> None:
+        target = self._resolve_call(call)
+        if target is None:
+            self._maybe_blocking_builtin(call, held)
+            self._maybe_thread(call, held)
+            self._maybe_global_mutation(call, held)
+            return
+        tag = target[0]
+        deferred = self.deferred_depth > 0
+        if tag == "func":
+            self.facts.calls.append(CallSite(
+                line=call.lineno, callee=target[1], held=held,
+                deferred=deferred))
+        elif tag == "ctor":
+            init = self.graph.lookup_method(target[1], "__init__")
+            if init is not None:
+                self.facts.calls.append(CallSite(
+                    line=call.lineno, callee=init.qualname, held=held,
+                    deferred=deferred))
+        elif tag == "fanout":
+            for qual in target[1]:
+                self.facts.calls.append(CallSite(
+                    line=call.lineno, callee=qual, held=held,
+                    deferred=deferred))
+        elif tag == "external":
+            if is_blocking_external(target[1]) and not deferred:
+                self.facts.blocks.append(BlockOp(
+                    line=call.lineno, held=held,
+                    detail=f"blocking call {target[1]}(...)"))
+            self._maybe_thread(call, held)
+        elif tag == "future-op":
+            if target[1] == "result" and not deferred:
+                self.facts.blocks.append(BlockOp(
+                    line=call.lineno, held=held,
+                    detail="Future.result() blocks until the worker "
+                           "finishes"))
+        elif tag == "sync":
+            self._record_sync_call(call, target, held)
+
+    def _maybe_blocking_builtin(self, call: ast.Call,
+                                held: FrozenSet[str]) -> None:
+        """Blocking leaves the call graph cannot resolve: ``open``,
+        ``input`` and friends are builtins with no import binding, so
+        they reach the unresolved branch rather than ``external``."""
+        if self.deferred_depth > 0:
+            return
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return
+        head = dotted.split(".")[0]
+        if head == "self" or head in self.env or head in self.local_names:
+            return
+        if is_blocking_external(dotted):
+            self.facts.blocks.append(BlockOp(
+                line=call.lineno, held=held,
+                detail=f"blocking call {dotted}(...)"))
+
+    def _record_sync_call(self, call: ast.Call, target: Tuple,
+                          held: FrozenSet[str]) -> None:
+        _, kind, identity, method = target
+        deferred = self.deferred_depth > 0
+        if (kind, method) in BLOCKING_SYNC_METHODS:
+            releases = frozenset({identity}) \
+                if BLOCKING_SYNC_METHODS[(kind, method)] else EMPTY
+            if not deferred:
+                self.facts.blocks.append(BlockOp(
+                    line=call.lineno, held=held, releases=releases,
+                    detail=f"{kind}.{method}() on {short_lock(identity)}"))
+        if kind == "condition" and method in ("wait", "wait_for"):
+            self.facts.waits.append(WaitFact(
+                line=call.lineno, kind="condition",
+                in_loop=self.loop_depth > 0 or method == "wait_for",
+                has_timeout=self._has_timeout(call, pos=0), lock=identity))
+        elif kind == "event" and method == "wait":
+            self.facts.waits.append(WaitFact(
+                line=call.lineno, kind="event", in_loop=self.loop_depth > 0,
+                has_timeout=self._has_timeout(call, pos=0), lock=identity))
+        elif kind == "thread" and method == "join":
+            binding = self._receiver_binding(call.func)
+            if binding is not None:
+                self.facts.joins.append(JoinFact(line=call.lineno,
+                                                 binding=binding))
+        elif kind == "executor" and method == "submit" and call.args:
+            self._deferred_target(call.args[0], call.lineno, via="executor")
+
+    def _has_timeout(self, call: ast.Call, pos: int) -> bool:
+        if len(call.args) > pos:
+            return True
+        return call_keyword(call, "timeout") is not None
+
+    def _receiver_binding(self, func: ast.expr) -> Optional[Tuple]:
+        """Storage binding of a sync-method receiver, for join matching."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = func.value
+        if isinstance(recv, ast.Attribute) \
+                and isinstance(recv.value, ast.Name) \
+                and recv.value.id == "self" and self.own_class:
+            sync = self.model.sync_owner(self.own_class, recv.attr)
+            owner = sync[1] if sync is not None else self.own_class
+            return ("attr", owner, recv.attr)
+        if isinstance(recv, ast.Name):
+            return ("local", recv.id)
+        return None
+
+    def _maybe_global_mutation(self, call: ast.Call,
+                               held: FrozenSet[str]) -> None:
+        """Mutating-method calls on module globals: _CACHE.clear() etc."""
+        func = call.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and isinstance(func.value, ast.Name)):
+            return
+        self._record_global_mutation(
+            func.value, call.lineno, f".{func.attr}(...) call", held)
+
+    def _maybe_thread(self, call: ast.Call, held: FrozenSet[str]) -> None:
+        """Record threading.Thread(...) constructions and their targets."""
+        dotted = dotted_name(call.func)
+        if dotted is None or dotted.split(".")[-1] != "Thread":
+            return
+        resolved = self.graph.resolve_dotted(self.info.module, dotted)
+        if resolved is not None and resolved[0] == "class":
+            return                      # an in-package class named Thread
+        daemon = None
+        daemon_expr = call_keyword(call, "daemon")
+        if isinstance(daemon_expr, ast.Constant) \
+                and isinstance(daemon_expr.value, bool):
+            daemon = daemon_expr.value
+        target_qual = None
+        target_expr = call_keyword(call, "target")
+        if target_expr is not None:
+            target_qual = self._deferred_target(target_expr, call.lineno,
+                                                via="thread-target")
+        self.facts.threads.append(ThreadFact(
+            line=call.lineno, daemon=daemon, target=target_qual,
+            binding=None))
+
+    def _deferred_target(self, expr: ast.expr, line: int,
+                         via: str) -> Optional[str]:
+        """A function reference handed off for later execution: record a
+        deferred call site (entry lockset {} — it runs on another thread)."""
+        if isinstance(expr, ast.Lambda):
+            self._walk_deferred([ast.Expr(value=expr.body)])
+            return None
+        target = self._resolve_call_ref(expr)
+        if target is None:
+            return None
+        self.facts.calls.append(CallSite(line=line, callee=target,
+                                         held=EMPTY, deferred=True, via=via))
+        return target
+
+    def _resolve_call_ref(self, expr: ast.expr) -> Optional[str]:
+        """Resolve a *reference* (not a call) to a function qualname."""
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] == "self" and self.own_class and len(parts) == 2:
+            method = self.graph.lookup_method(self.own_class, parts[1])
+            return method.qualname if method is not None else None
+        if parts[0] in self.env:
+            typed = self.env[parts[0]]
+            if typed[0] == "instance" and len(parts) == 2:
+                method = self.graph.lookup_method(typed[1], parts[1])
+                return method.qualname if method is not None else None
+            return None
+        resolved = self.graph.resolve_dotted(self.info.module, dotted)
+        if resolved is not None and resolved[0] == "func":
+            return resolved[1]
+        return None

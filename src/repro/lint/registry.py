@@ -120,3 +120,4 @@ def _ensure_loaded() -> None:
     from . import rules  # noqa: F401  (import side effect: registration)
     from .dataflow import rules as dataflow_rules  # noqa: F401
     from .effects import rules as effects_rules  # noqa: F401
+    from .concurrency import rules as concurrency_rules  # noqa: F401

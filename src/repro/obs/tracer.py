@@ -35,6 +35,8 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from ..core.concurrency import guarded_by
+
 #: Environment variable enabling the process-global tracer at import time.
 TRACE_ENV_VAR = "REPRO_TRACE"
 
@@ -133,8 +135,16 @@ class _SpanContext:
         return False
 
 
+@guarded_by("_lock", "spans", "_tids")
 class Tracer:
-    """Span registry: per-thread nesting stacks over one shared span list."""
+    """Span registry: per-thread nesting stacks over one shared span list.
+
+    The shared span list and the thread-ordinal table are guarded by
+    ``_lock`` (declared above, verified by lint rule R11); the per-thread
+    nesting stack lives in ``threading.local`` and needs no lock.  A
+    :class:`Span` object itself is only mutated by the thread that opened
+    it, so field writes after ``_open`` are unguarded by design.
+    """
 
     def __init__(self, enabled: Optional[bool] = None):
         # None -> honor the REPRO_TRACE environment variable (default off).
@@ -201,7 +211,10 @@ class Tracer:
             self._tids = {}
 
     def finished_spans(self) -> List[Span]:
-        return [s for s in self.spans if s.end_ns is not None]
+        """A consistent snapshot of the closed spans (list built under
+        the lock — concurrent ``_open`` appends cannot tear it)."""
+        with self._lock:
+            return [s for s in self.spans if s.end_ns is not None]
 
 
 #: The process-global tracer every instrumentation site shares by default.

@@ -30,7 +30,8 @@ def build_app(args: argparse.Namespace) -> ServeApp:
     return ServeApp(cache=cache,
                     window_s=args.window_ms / 1000.0,
                     engine_workers=args.workers,
-                    job_workers=args.job_workers)
+                    job_workers=args.job_workers,
+                    max_jobs=args.max_jobs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -52,6 +53,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: 1)")
     parser.add_argument("--job-workers", type=int, default=2, metavar="N",
                         help="concurrent sweep/experiment jobs (default: 2)")
+    parser.add_argument("--max-jobs", type=int, default=1024, metavar="N",
+                        help="job-registry bound; oldest finished jobs are "
+                             "pruned beyond it (default: 1024)")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         metavar="DIR",
                         help=f"record cache root, shared with python -m "

@@ -32,12 +32,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from .. import __version__
+from ..core.concurrency import guarded_by
 from ..dse.cache import DiskCache
 from ..dse.engine import frontier_doc, run_sweep
 from ..dse.spec import config_key
 from ..obs import Tracer, to_trace_events, use_tracer
-from .batching import DEFAULT_WINDOW_S, BatchingQueue
-from .jobs import Job, JobStore
+from .batching import DEFAULT_WINDOW_S, BatchingQueue, BatchTimeout
+from .jobs import DEFAULT_MAX_JOBS, Job, JobStore
 from .schemas import (EVALUATE_SCHEMA, HEALTH_SCHEMA, JOB_RESULT_SCHEMA,
                       JOB_SCHEMA, MAX_BODY_BYTES, STATS_SCHEMA, SchemaError,
                       build_sweep_spec, error_doc, validate_evaluate_request,
@@ -87,6 +88,7 @@ def _run_experiment_job(app: "ServeApp", job: Job) -> Dict[str, object]:
     return {"experiment": name, "result": builders[name]()}
 
 
+@guarded_by("_lock", "_trace_seq")
 class ServeApp:
     """Application state + the ``dispatch`` entry point."""
 
@@ -94,11 +96,12 @@ class ServeApp:
                  window_s: float = DEFAULT_WINDOW_S,
                  engine_workers: int = 1,
                  job_workers: int = 2,
-                 max_body_bytes: int = MAX_BODY_BYTES):
+                 max_body_bytes: int = MAX_BODY_BYTES,
+                 max_jobs: int = DEFAULT_MAX_JOBS):
         self.cache = cache if cache is not None else DiskCache()
         self.queue = BatchingQueue(cache=self.cache, window_s=window_s,
                                    workers=engine_workers)
-        self.jobs = JobStore(workers=job_workers)
+        self.jobs = JobStore(workers=job_workers, max_jobs=max_jobs)
         self.max_body_bytes = max_body_bytes
         self._lock = threading.Lock()
         self._trace_seq = 0
@@ -190,11 +193,14 @@ class ServeApp:
         key = config_key(config)
         trace_id = self.next_trace_id()
         tracer = Tracer(enabled=bool(request["trace"]))
-        with use_tracer(tracer):
-            with tracer.span("serve.request", endpoint="/v1/evaluate",
-                             trace_id=trace_id):
-                with tracer.span("serve.queue.wait"):
-                    record, served, batch = self.queue.submit(key, config)
+        try:
+            with use_tracer(tracer):
+                with tracer.span("serve.request", endpoint="/v1/evaluate",
+                                 trace_id=trace_id):
+                    with tracer.span("serve.queue.wait"):
+                        record, served, batch = self.queue.submit(key, config)
+        except BatchTimeout as exc:
+            raise SchemaError("batch-timeout", str(exc), status=503) from exc
         doc: Dict[str, object] = {
             "schema": EVALUATE_SCHEMA,
             "trace_id": trace_id,
@@ -215,7 +221,7 @@ class ServeApp:
         job = self.jobs.submit(
             "sweep", request, self.next_trace_id(),
             lambda j: _run_sweep_job(self, j))
-        return 202, job.doc()
+        return 202, self._job_doc(job.id)
 
     def handle_experiment(self, body: object
                           ) -> Tuple[int, Dict[str, object]]:
@@ -223,24 +229,26 @@ class ServeApp:
         job = self.jobs.submit(
             "experiment", request, self.next_trace_id(),
             lambda j: _run_experiment_job(self, j))
-        return 202, job.doc()
+        return 202, self._job_doc(job.id)
 
     def handle_job_get(self, job_id: str) -> Tuple[int, Dict[str, object]]:
-        job = self._job(job_id)
-        return 200, job.doc()
+        return 200, self._job_doc(job_id)
 
     def handle_job_result(self, job_id: str
                           ) -> Tuple[int, Dict[str, object]]:
-        job = self._job(job_id)
-        if job.state == "done":
-            return 200, {"schema": JOB_RESULT_SCHEMA, "id": job.id,
-                         "result": job.result}
-        if job.state == "failed":
-            return 200, {"schema": JOB_RESULT_SCHEMA, "id": job.id,
-                         "error": job.error}
+        snapshot = self.jobs.result_doc(job_id)
+        if snapshot is None:
+            raise SchemaError("not-found", f"no such job: {job_id}",
+                              status=404)
+        if snapshot["state"] == "done":
+            return 200, {"schema": JOB_RESULT_SCHEMA, "id": job_id,
+                         "result": snapshot["result"]}
+        if snapshot["state"] == "failed":
+            return 200, {"schema": JOB_RESULT_SCHEMA, "id": job_id,
+                         "error": snapshot["error"]}
         raise SchemaError("not-finished",
-                          f"job {job_id} is {job.state}; result exists "
-                          "only for done/failed jobs", status=409)
+                          f"job {job_id} is {snapshot['state']}; result "
+                          "exists only for done/failed jobs", status=409)
 
     def handle_job_trace(self, job_id: str) -> Tuple[int, Dict[str, object]]:
         job = self._job(job_id)
@@ -253,14 +261,27 @@ class ServeApp:
         if outcome is None:
             raise SchemaError("not-found", f"no such job: {job_id}",
                               status=404)
-        if outcome is False:
-            job = self._job(job_id)
+        if outcome != "cancelled":
             raise SchemaError("not-cancellable",
-                              f"job {job_id} is {job.state}; only queued "
+                              f"job {job_id} is {outcome}; only queued "
                               "jobs can be cancelled", status=409)
         return 200, {"schema": JOB_SCHEMA, "id": job_id, "state": "cancelled"}
 
+    def _job_doc(self, job_id: str) -> Dict[str, object]:
+        """A consistent job snapshot from the store, or a structured 404."""
+        doc = self.jobs.doc(job_id)
+        if doc is None:
+            raise SchemaError("not-found", f"no such job: {job_id}",
+                              status=404)
+        return doc
+
     def _job(self, job_id: str) -> Job:
+        """The live job — only for immutable fields (``tracer``, ``id``).
+
+        Lifecycle state must come from :meth:`JobStore.doc` /
+        :meth:`JobStore.result_doc`; reading it off the live object
+        races (and R11 flags it).
+        """
         job = self.jobs.get(job_id)
         if job is None:
             raise SchemaError("not-found", f"no such job: {job_id}",

@@ -28,6 +28,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..core.concurrency import guarded_by, holds_no_locks
 from ..dse.cache import DiskCache
 from ..dse.engine import evaluate_batch
 from ..obs import Tracer, summarize, use_tracer
@@ -38,6 +39,16 @@ DEFAULT_WINDOW_S = 0.025
 
 #: Default cap on requests per batch.
 DEFAULT_MAX_BATCH = 256
+
+#: Default bound on how long one submission waits for its record.  A
+#: healthy batch completes in well under a second of queueing plus the
+#: engine call; a minute means the worker thread died or wedged, and the
+#: handler must return a structured 503 instead of hanging forever.
+DEFAULT_SUBMIT_TIMEOUT_S = 60.0
+
+
+class BatchTimeout(RuntimeError):
+    """A submission's completion event never fired within the timeout."""
 
 
 class _PendingRequest:
@@ -54,6 +65,8 @@ class _PendingRequest:
         self.batch: Optional[Dict[str, object]] = None
 
 
+@guarded_by("_cond", "_pending", "_closed", "requests", "batches",
+            "evaluated", "coalesced")
 class BatchingQueue:
     """Coalesce evaluate requests into single cache-through engine calls.
 
@@ -72,11 +85,13 @@ class BatchingQueue:
     def __init__(self, cache: Optional[DiskCache] = None,
                  window_s: float = DEFAULT_WINDOW_S,
                  workers: int = 1,
-                 max_batch: int = DEFAULT_MAX_BATCH):
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 submit_timeout_s: float = DEFAULT_SUBMIT_TIMEOUT_S):
         self.cache = cache
         self.window_s = max(0.0, window_s)
         self.workers = max(1, workers)
         self.max_batch = max(1, max_batch)
+        self.submit_timeout_s = max(0.001, submit_timeout_s)
         self._cond = threading.Condition()
         self._pending: List[_PendingRequest] = []
         self._closed = False
@@ -89,10 +104,17 @@ class BatchingQueue:
         self._thread.start()
 
     # ---------------------------------------------------------------- client
+    @holds_no_locks(reason="parks the request-handler thread on the "
+                           "completion event until the batch lands")
     def submit(self, key: str, config: Dict[str, object]
                ) -> Tuple[Dict[str, object], str, Dict[str, object]]:
         """Block until ``config`` (already normalized, content-keyed) is
-        evaluated; returns ``(record, "hit"|"miss", batch_info)``."""
+        evaluated; returns ``(record, "hit"|"miss", batch_info)``.
+
+        Raises :class:`BatchTimeout` when no record arrives within
+        ``submit_timeout_s`` — a dead or wedged worker thread must
+        surface as a structured 503, never strand the handler forever.
+        """
         request = _PendingRequest(key, config)
         with self._cond:
             if self._closed:
@@ -100,7 +122,11 @@ class BatchingQueue:
             self._pending.append(request)
             self.requests += 1
             self._cond.notify_all()
-        request.event.wait()
+        if not request.event.wait(timeout=self.submit_timeout_s):
+            raise BatchTimeout(
+                f"no batch served key {request.key} within "
+                f"{self.submit_timeout_s:g}s — the batching worker is "
+                "dead or wedged")
         if request.record is None:
             error = dict((request.batch or {}).get("error") or {})
             raise RuntimeError(
@@ -114,7 +140,8 @@ class BatchingQueue:
                     "evaluated": self.evaluated,
                     "coalesced": self.coalesced,
                     "window_s": self.window_s,
-                    "max_batch": self.max_batch}
+                    "max_batch": self.max_batch,
+                    "submit_timeout_s": self.submit_timeout_s}
 
     # ---------------------------------------------------------------- worker
     def _drain(self) -> None:
@@ -183,6 +210,7 @@ class BatchingQueue:
             request.event.set()
 
     # ------------------------------------------------------------- lifecycle
+    @holds_no_locks(reason="joins the worker thread")
     def shutdown(self) -> None:
         """Stop accepting work; drain what is queued; join the worker."""
         with self._cond:

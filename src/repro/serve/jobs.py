@@ -18,6 +18,19 @@ finished job is immutable.  The runner re-checks the state under the
 store lock before flipping to ``running``, so a cancel that lands first
 always wins.
 
+Concurrency discipline (verified by ``repro.lint --concurrency``): a
+job's mutable fields are guarded by the owning store's ``_lock`` —
+declared with ``@guarded_by`` below — and every externally visible
+document is a *snapshot* built while holding it (:meth:`JobStore.doc`,
+:meth:`JobStore.result_doc`).  Handing callers a live :class:`Job` to
+read field-by-field would tear: state could flip between reading
+``state`` and reading ``result``.
+
+The registry is bounded: beyond ``max_jobs`` entries, the oldest
+*terminal* jobs (done/failed/cancelled — never live ones) are pruned at
+submission time, so ``/v1/jobs`` memory cannot grow without bound under
+sustained traffic.
+
 Durations use ``time.perf_counter_ns()`` (monotonic; wall-clock
 ``time.time`` is banned for durations by lint rule R4).
 """
@@ -27,8 +40,9 @@ from __future__ import annotations
 import concurrent.futures
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
+from ..core.concurrency import guarded_by, holds_no_locks
 from ..obs import Tracer, use_tracer
 from .schemas import JOB_SCHEMA, JOBS_SCHEMA
 
@@ -38,9 +52,19 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 #: States a job can no longer leave.
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
+#: Default bound on the job registry (oldest terminal jobs pruned beyond).
+DEFAULT_MAX_JOBS = 1024
 
+
+@guarded_by("JobStore._lock", "state", "result", "error", "started_ns",
+            "finished_ns")
 class Job:
-    """One accepted async request and everything it accumulates."""
+    """One accepted async request and everything it accumulates.
+
+    ``id``/``kind``/``request``/``trace_id``/``tracer``/``queued_ns`` are
+    immutable after construction; the lifecycle fields declared in
+    ``@guarded_by`` above belong to the owning :class:`JobStore`'s lock.
+    """
 
     __slots__ = ("id", "kind", "request", "trace_id", "state", "result",
                  "error", "tracer", "queued_ns", "started_ns",
@@ -60,8 +84,14 @@ class Job:
         self.started_ns: Optional[int] = None
         self.finished_ns: Optional[int] = None
 
-    def doc(self) -> Dict[str, object]:
-        """The public job document (``GET /v1/jobs/<id>``)."""
+    def _doc(self) -> Dict[str, object]:
+        """The public job document — callers hold ``JobStore._lock``.
+
+        Private on purpose: every call site sits inside the store's
+        lock, which is exactly what lets R11's entry-lockset analysis
+        prove the lifecycle-field reads here are guarded.  External
+        callers go through :meth:`JobStore.doc`.
+        """
         doc: Dict[str, object] = {
             "schema": JOB_SCHEMA,
             "id": self.id,
@@ -77,17 +107,22 @@ class Job:
         return doc
 
 
+@guarded_by("_lock", "_jobs", "_seq", "_pruned")
 class JobStore:
-    """Thread-safe registry + executor for async jobs."""
+    """Thread-safe bounded registry + executor for async jobs."""
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2, max_jobs: int = DEFAULT_MAX_JOBS):
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}        # insertion = submission order
         self._seq = 0
+        self._pruned = 0
+        self.max_jobs = max(1, max_jobs)
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=max(1, workers), thread_name_prefix="repro-serve-job")
 
     # ---------------------------------------------------------------- submit
+    @holds_no_locks(reason="hands work to the executor, which may block "
+                           "briefly on its internal queue")
     def submit(self, kind: str, request: Dict[str, object], trace_id: str,
                runner: Callable[[Job], Dict[str, object]]) -> Job:
         """Register a job and hand it to the executor; returns it queued.
@@ -101,8 +136,26 @@ class JobStore:
             self._seq += 1
             job = Job(f"job-{self._seq:06d}", kind, request, trace_id)
             self._jobs[job.id] = job
+            self._prune_locked()
         self._executor.submit(self._run, job, runner)
         return job
+
+    def _prune_locked(self) -> None:
+        """Evict oldest *terminal* jobs beyond ``max_jobs`` (lock held).
+
+        Live jobs (queued/running) are never evicted — under a burst of
+        in-flight work the registry may transiently exceed the cap
+        rather than drop observable state.
+        """
+        if len(self._jobs) <= self.max_jobs:
+            return
+        terminal = [job.id for job in self._jobs.values()
+                    if job.state in TERMINAL_STATES]
+        for job_id in terminal:
+            if len(self._jobs) <= self.max_jobs:
+                break
+            del self._jobs[job_id]
+            self._pruned += 1
 
     def _run(self, job: Job,
              runner: Callable[[Job], Dict[str, object]]) -> None:
@@ -129,26 +182,46 @@ class JobStore:
 
     # ---------------------------------------------------------------- access
     def get(self, job_id: str) -> Optional[Job]:
+        """The live job object — for identity/tracer access, not state.
+
+        Reading lifecycle fields off the returned object would race;
+        use :meth:`doc` / :meth:`result_doc` for consistent snapshots.
+        """
         with self._lock:
             return self._jobs.get(job_id)
 
-    def cancel(self, job_id: str) -> Optional[bool]:
-        """True = cancelled; False = too late (running/terminal);
-        None = no such job."""
+    def doc(self, job_id: str) -> Optional[Dict[str, object]]:
+        """A consistent public job document, built under the lock."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job._doc() if job is not None else None
+
+    def result_doc(self, job_id: str) -> Optional[Dict[str, object]]:
+        """An atomic ``{state, result, error}`` snapshot of one job."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            return {"state": job.state, "result": job.result,
+                    "error": job.error}
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """``"cancelled"`` on success, the blocking state (``running`` /
+        terminal) when too late, None when no such job exists."""
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
                 return None
             if job.state != "queued":
-                return False
+                return job.state
             job.state = "cancelled"
             job.finished_ns = time.perf_counter_ns()
-            return True
+            return "cancelled"
 
     def list_doc(self) -> Dict[str, object]:
         """``GET /v1/jobs``: every job, in submission order."""
         with self._lock:
-            jobs = [job.doc() for job in self._jobs.values()]
+            jobs = [job._doc() for job in self._jobs.values()]
         return {"schema": JOBS_SCHEMA, "jobs": jobs}
 
     def counts(self) -> Dict[str, int]:
@@ -156,8 +229,11 @@ class JobStore:
             counts = {state: 0 for state in JOB_STATES}
             for job in self._jobs.values():
                 counts[job.state] += 1
+            counts["max_jobs"] = self.max_jobs
+            counts["pruned"] = self._pruned
         return counts
 
     # ------------------------------------------------------------- lifecycle
+    @holds_no_locks(reason="joins executor worker threads")
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)

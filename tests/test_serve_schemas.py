@@ -88,9 +88,9 @@ class TestGoldenResponses:
                       "hits": 0, "misses": 0, "rejected": 0, "stored": 0},
             "batching": {"requests": 0, "batches": 0, "evaluated": 0,
                          "coalesced": 0, "window_s": 0.005,
-                         "max_batch": 256},
+                         "max_batch": 256, "submit_timeout_s": 60.0},
             "jobs": {"queued": 0, "running": 0, "done": 0, "failed": 0,
-                     "cancelled": 0},
+                     "cancelled": 0, "max_jobs": 1024, "pruned": 0},
         }
 
     def test_evaluate(self, app):
@@ -290,9 +290,9 @@ def _wait(app, job_id, timeout=120.0):
     import time
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        job = app.jobs.get(job_id)
-        if job is not None and job.state in ("done", "failed", "cancelled"):
-            return job.doc()
+        doc = app.jobs.doc(job_id)
+        if doc is not None and doc["state"] in ("done", "failed", "cancelled"):
+            return doc
         time.sleep(0.02)
     raise AssertionError(f"job {job_id} never finished")
 

@@ -1,0 +1,202 @@
+"""Shutdown races, the bounded job registry, and the submit timeout.
+
+The concurrency verifier (rules R11-R14) proves the lock discipline
+statically; these tests drive the *dynamic* half of the contract:
+
+* ``BatchingQueue.shutdown`` racing concurrent submits — every submit
+  thread returns (a record, or a clean structured error), never hangs;
+* ``JobStore.shutdown`` after queued-then-cancelled jobs — cancelled
+  jobs stay cancelled, the executor drains;
+* the registry cap — oldest *terminal* jobs pruned at submission, live
+  jobs never evicted, the ``pruned`` counter and ``/v1/stats`` exposure;
+* ``submit_timeout_s`` — a wedged worker surfaces as ``BatchTimeout``
+  (a structured 503 through the API), never a stranded handler thread.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.dse import SMOKE_SPEC
+from repro.dse.cache import NullCache
+from repro.serve.api import ServeApp
+from repro.serve.batching import BatchingQueue, BatchTimeout
+from repro.serve.jobs import JobStore
+
+
+def _config():
+    return SMOKE_SPEC.configs()[0]
+
+
+def _key_of(cfg):
+    from repro.dse import config_key, normalize_config
+    return config_key(normalize_config(cfg))
+
+
+class TestBatchingShutdownRace:
+    def test_shutdown_racing_submits_never_hangs(self):
+        """Submits racing shutdown either complete or fail cleanly."""
+        queue = BatchingQueue(cache=NullCache(), window_s=0.005,
+                              submit_timeout_s=30.0)
+        cfg = _config()
+        key = _key_of(cfg)
+        n = 8
+        barrier = threading.Barrier(n + 1)
+        outcomes = [None] * n
+
+        def client(i):
+            barrier.wait()
+            try:
+                record, served, _ = queue.submit(key, dict(cfg))
+                outcomes[i] = ("ok", record["key"])
+            except RuntimeError as exc:      # includes BatchTimeout
+                outcomes[i] = ("error", str(exc))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        queue.shutdown()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), \
+            "a submit thread is stranded after shutdown"
+        assert all(o is not None for o in outcomes)
+        for kind, detail in outcomes:
+            if kind == "ok":
+                assert detail == key
+            else:
+                assert "shut down" in detail or "batch" in detail
+
+    def test_submits_after_shutdown_fail_immediately(self):
+        queue = BatchingQueue(cache=NullCache(), window_s=0.005)
+        queue.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            queue.submit(_key_of(_config()), dict(_config()))
+
+    def test_shutdown_is_idempotent_and_joins_the_worker(self):
+        queue = BatchingQueue(cache=NullCache(), window_s=0.005)
+        queue.shutdown()
+        queue.shutdown()
+        assert not queue._thread.is_alive()
+
+
+class TestSubmitTimeout:
+    def test_wedged_worker_surfaces_as_batch_timeout(self):
+        queue = BatchingQueue(cache=NullCache(), window_s=0.005,
+                              submit_timeout_s=0.05)
+        # Wedge: kill the real worker by closing, then resurrect the
+        # accepting state so submit parks on an event nobody will set.
+        queue.shutdown()
+        with queue._cond:
+            queue._closed = False
+        started = time.monotonic()
+        with pytest.raises(BatchTimeout, match="within"):
+            queue.submit(_key_of(_config()), dict(_config()))
+        assert time.monotonic() - started < 10.0
+
+    def test_timeout_is_a_structured_503_through_the_api(self):
+        app = ServeApp(cache=NullCache(), window_s=0.005)
+        try:
+            app.queue.shutdown()
+            with app.queue._cond:
+                app.queue._closed = False
+            app.queue.submit_timeout_s = 0.05
+            status, doc = app.dispatch(
+                "POST", "/v1/evaluate",
+                b'{"config": {"pattern": "1:8", "bus_bits": 128, '
+                b'"mram_rows": 1024, "weight_bits": 8, '
+                b'"device": "nominal"}}')
+            assert status == 503
+            assert doc["error"]["code"] == "batch-timeout"
+        finally:
+            app.jobs.shutdown(wait=False)
+
+    def test_stats_expose_the_timeout(self):
+        queue = BatchingQueue(cache=NullCache(), submit_timeout_s=7.5)
+        try:
+            assert queue.stats()["submit_timeout_s"] == 7.5
+        finally:
+            queue.shutdown()
+
+
+class TestJobStoreShutdown:
+    def test_queued_then_cancelled_jobs_shut_down_clean(self):
+        store = JobStore(workers=1)
+        release = threading.Event()
+        blocker = store.submit("block", {}, "req-0",
+                               lambda job: release.wait(30) and {})
+        queued = store.submit("later", {}, "req-1", lambda job: {})
+        assert store.cancel(queued.id) == "cancelled"
+        release.set()
+        store.shutdown(wait=True)
+        assert store.doc(queued.id)["state"] == "cancelled"
+        assert store.doc(blocker.id)["state"] == "done"
+        # A cancel that lands first always wins: the runner never ran it.
+        assert store.result_doc(queued.id)["result"] is None
+
+    def test_cancel_outcomes(self):
+        store = JobStore(workers=1)
+        try:
+            release = threading.Event()
+            job = store.submit("block", {}, "req-0",
+                               lambda j: release.wait(30) and {})
+            deadline = time.monotonic() + 30
+            while store.doc(job.id)["state"] != "running" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert store.cancel(job.id) == "running"
+            assert store.cancel("job-999999") is None
+            release.set()
+        finally:
+            store.shutdown(wait=True)
+
+
+class TestBoundedRegistry:
+    def test_oldest_terminal_jobs_pruned_beyond_cap(self):
+        store = JobStore(workers=1, max_jobs=3)
+        try:
+            for i in range(5):
+                job = store.submit(f"j{i}", {}, f"req-{i}", lambda j: {})
+                deadline = time.monotonic() + 30
+                while store.doc(job.id) is not None \
+                        and store.doc(job.id)["state"] != "done" \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            counts = store.counts()
+            assert counts["max_jobs"] == 3
+            assert counts["pruned"] == 2
+            jobs = store.list_doc()["jobs"]
+            assert len(jobs) == 3
+            # Oldest evicted first; the newest three survive.
+            assert [j["id"] for j in jobs] == ["job-000003", "job-000004",
+                                               "job-000005"]
+        finally:
+            store.shutdown(wait=True)
+
+    def test_live_jobs_are_never_evicted(self):
+        store = JobStore(workers=1, max_jobs=1)
+        release = threading.Event()
+        try:
+            running = store.submit("block", {}, "req-0",
+                                   lambda j: release.wait(30) and {})
+            queued = store.submit("queued", {}, "req-1", lambda j: {})
+            # Both are live (running + queued): over cap, nothing evictable.
+            ids = [j["id"] for j in store.list_doc()["jobs"]]
+            assert ids == [running.id, queued.id]
+            release.set()
+        finally:
+            release.set()
+            store.shutdown(wait=True)
+
+    def test_cap_exposed_in_stats_endpoint(self):
+        app = ServeApp(cache=NullCache(), window_s=0.005, max_jobs=17)
+        try:
+            status, doc = app.dispatch("GET", "/v1/stats")
+            assert status == 200
+            assert doc["jobs"]["max_jobs"] == 17
+            assert doc["jobs"]["pruned"] == 0
+        finally:
+            app.shutdown()
