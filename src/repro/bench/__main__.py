@@ -5,6 +5,8 @@
     python -m repro.bench                     # run, write BENCH_harness.json
     python -m repro.bench --check             # + compare vs committed baseline
     python -m repro.bench --update-baseline   # rewrite the baseline
+    python -m repro.bench --corpus            # corpus throughput sweep only
+    python -m repro.bench --corpus-table corpus.txt  # per-class timing table
     python -m repro.bench --trace bench.trace.json   # + smoke Chrome trace
 """
 
@@ -46,21 +48,60 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default: {DEFAULT_REPEATS})")
     parser.add_argument("--no-timings", action="store_true",
                         help="model metrics only (deterministic subset)")
+    parser.add_argument("--corpus", action="store_true",
+                        help="run only the per-pattern corpus throughput "
+                             "sweep and print its table (quick local mode; "
+                             "not combinable with --check)")
+    parser.add_argument("--no-corpus", action="store_true",
+                        help="skip the corpus sweep in a full run")
+    parser.add_argument("--corpus-table", default=None, metavar="PATH",
+                        help="write the per-pattern-class timing table "
+                             "here (the CI artifact)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="enable span tracing; write a Chrome "
                              "trace_events file here")
     args = parser.parse_args(argv)
 
     from ..harness.reporting import begin_trace, finish_trace
+    from .runner import BENCH_SCHEMA, collect_corpus_metrics, \
+        render_corpus_table
+
+    if args.corpus:
+        if args.check or args.update_baseline:
+            print("error: --corpus is a subset run; it cannot gate or "
+                  "rewrite the full baseline", file=sys.stderr)
+            return 2
+        begin_trace(args.trace)
+        metrics = collect_corpus_metrics(repeats=args.repeats)
+        finish_trace(args.trace)
+        doc = {"schema": BENCH_SCHEMA, "repeats": args.repeats,
+               "metrics": metrics}
+        out_path = pathlib.Path(args.out)
+        _write(out_path, doc)
+        table = render_corpus_table(metrics)
+        if args.corpus_table is not None:
+            table_path = pathlib.Path(args.corpus_table)
+            table_path.parent.mkdir(parents=True, exist_ok=True)
+            table_path.write_text(table + "\n")
+        print(table)
+        print(f"\nwrote {out_path} ({len(metrics)} metrics)")
+        return 0
 
     begin_trace(args.trace)
     doc = run_bench(repeats=args.repeats,
-                    include_timings=not args.no_timings)
+                    include_timings=not args.no_timings,
+                    include_corpus=not args.no_corpus)
     finish_trace(args.trace)
 
     out_path = pathlib.Path(args.out)
     _write(out_path, doc)
     print(f"wrote {out_path} ({len(doc['metrics'])} metrics)")
+
+    if args.corpus_table is not None:
+        table_path = pathlib.Path(args.corpus_table)
+        table_path.parent.mkdir(parents=True, exist_ok=True)
+        table_path.write_text(render_corpus_table(doc["metrics"]) + "\n")
+        print(f"wrote corpus timing table to {table_path}")
 
     if args.update_baseline:
         base_path = pathlib.Path(args.baseline)

@@ -5,7 +5,9 @@ relative tolerance.  Tolerances are per-metric: an explicit ``rtol`` /
 ``direction`` on the baseline entry wins; otherwise the ``kind`` default
 applies — tight two-sided for deterministic ``model`` outputs, generous
 increase-only for machine-dependent ``timing`` values (faster is never a
-regression).  Metrics only present in the current run are reported as
+regression).  Throughput-style metrics where *bigger* is better declare
+``direction: decrease`` on their baseline entries and fail only on large
+drops.  Metrics only present in the current run are reported as
 ``new`` (informational, so adding a benchmark never breaks the gate —
 commit an updated baseline to start gating it).
 """
@@ -52,7 +54,7 @@ def _tolerance(entry: Mapping[str, object]) -> float:
 
 def _direction(entry: Mapping[str, object]) -> str:
     if "direction" in entry:
-        return str(entry["direction"])        # 'both' | 'increase'
+        return str(entry["direction"])        # 'both'|'increase'|'decrease'
     return "increase" if entry.get("kind") == "timing" else "both"
 
 
@@ -79,8 +81,12 @@ def compare_metrics(current: Mapping[str, object],
         cur_value = float(cur_entry["value"])
         denom = abs(base_value) if base_value else 1.0
         rel = (cur_value - base_value) / denom
-        exceeded = (rel > rtol if direction == "increase"
-                    else abs(rel) > rtol)
+        if direction == "increase":
+            exceeded = rel > rtol          # slower-only (durations)
+        elif direction == "decrease":
+            exceeded = rel < -rtol         # lower-only (throughput)
+        else:
+            exceeded = abs(rel) > rtol     # two-sided (model outputs)
         results.append(CheckResult(
             name=name, status="regressed" if exceeded else "ok",
             baseline=base_value, current=cur_value, rel_delta=rel,

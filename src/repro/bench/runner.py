@@ -10,9 +10,12 @@ Two metric families, tagged by ``kind``:
 
 ``timing``
     Simulator throughput — PE-kernel matmuls at the paper's geometries
-    (both implementations), CSC encode, and harness build wall times.
-    Measured with monotonic ``perf_counter_ns`` best-of-N; inherently
-    machine-dependent, so the gate only fails on large slowdowns.
+    (every implementation), plan construction (charged separately from
+    the matmuls), CSC encode, harness build wall times, and the
+    per-pattern-class corpus sweep (``ns/nnz`` + GFLOP-equiv/s per
+    corpus item and impl).  Measured with monotonic ``perf_counter_ns``
+    warmed best-of-N; inherently machine-dependent, so the gate only
+    fails on large slowdowns (or, for throughput, large drops).
 """
 
 from __future__ import annotations
@@ -36,9 +39,29 @@ BASELINE_PATH = "benchmarks/baselines/BENCH_harness.json"
 #: Best-of-N repeats for the timing family (small: CI minutes are shared).
 DEFAULT_REPEATS = 5
 
+#: Batch rows for the corpus throughput sweep.
+CORPUS_BATCH = 64
 
-def _metric(value: float, kind: str, unit: str) -> Dict[str, object]:
-    return {"value": float(value), "kind": kind, "unit": unit}
+#: Implementations raced over the corpus ("reference" is left to the
+#: differential suite — racing it here would dominate CI minutes).
+CORPUS_IMPLS = ("fast", "flat")
+
+#: Lower-only tolerance for throughput metrics: fail when GFLOP-equiv/s
+#: drops by more than this fraction (0.75 ~ the 4x-slower limit the
+#: duration family's ``TIMING_RTOL`` allows, expressed as a decrease).
+GFLOPS_RTOL = 0.75
+
+
+def _metric(value: float, kind: str, unit: str,
+            rtol: Optional[float] = None,
+            direction: Optional[str] = None) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "value": float(value), "kind": kind, "unit": unit}
+    if rtol is not None:
+        entry["rtol"] = rtol               # per-metric gate override
+    if direction is not None:
+        entry["direction"] = direction     # 'both'|'increase'|'decrease'
+    return entry
 
 
 def _slug(label: str) -> str:
@@ -121,8 +144,17 @@ def collect_dse_metrics() -> Dict[str, Dict[str, object]]:
 # Timing metrics (machine-dependent)
 # ---------------------------------------------------------------------------
 
-def _best_of(fn: Callable[[], object], repeats: int) -> float:
-    """Best-of-N wall time of ``fn()`` in milliseconds (monotonic clock)."""
+def _best_of(fn: Callable[[], object], repeats: int,
+             warmup: int = 1) -> float:
+    """Best-of-N wall time of ``fn()`` in milliseconds (monotonic clock).
+
+    The untimed warmup calls populate lazily-built state (kernel plans,
+    flat layouts, the workspace pool) so the measured best reflects
+    steady-state cost, never first-call construction — plan build has
+    its own ``timing.kernel.plan_build.*`` metrics.
+    """
+    for _ in range(warmup):
+        fn()
     best_ns: Optional[int] = None
     for _ in range(repeats):
         start = time.perf_counter_ns()
@@ -147,6 +179,7 @@ def collect_timing_metrics(repeats: int = DEFAULT_REPEATS
                            ) -> Dict[str, Dict[str, object]]:
     """PE-kernel micro-benchmarks + harness build wall times."""
     from ..core.csc import CSCMatrix
+    from ..core.kernels import KERNEL_IMPLEMENTATIONS, KernelPlan
     from ..core.mram_pe import MRAMSparsePE
     from ..core.sram_pe import SRAMSparsePE
     from ..harness.fig7 import build_fig7
@@ -157,13 +190,15 @@ def collect_timing_metrics(repeats: int = DEFAULT_REPEATS
     pattern = NMPattern(1, 4)
     metrics: Dict[str, Dict[str, object]] = {}
 
-    # PE matmuls at the paper's geometries, both kernel implementations
-    # (mirrors benchmarks/test_bench_pe_kernels.py).
+    # PE matmuls at the paper's geometries, every kernel implementation
+    # (mirrors benchmarks/test_bench_pe_kernels.py).  ``load`` builds the
+    # plan once and ``_best_of``'s warmup call absorbs any lazy per-plan
+    # state, so these time the steady-state matmul alone.
     sram_w = _make_sparse(rng, (128, 8), pattern)
     sram_x = rng.integers(-128, 128, size=(16, 128))
     mram_w = _make_sparse(rng, (256, 32), pattern)
     mram_x = rng.integers(-128, 128, size=(16, 256))
-    for impl in ("reference", "fast"):
+    for impl in KERNEL_IMPLEMENTATIONS:
         sram_pe = SRAMSparsePE(kernel=impl)
         sram_pe.load(sram_w, pattern)
         metrics[f"timing.kernel.sram_matmul.{impl}_ms"] = _metric(
@@ -174,6 +209,20 @@ def collect_timing_metrics(repeats: int = DEFAULT_REPEATS
         metrics[f"timing.kernel.mram_matmul.{impl}_ms"] = _metric(
             _best_of(lambda pe=mram_pe: pe.matmul(mram_x), repeats),
             "timing", "ms")
+
+    # Plan construction, charged separately from the matmuls above so a
+    # flat-vs-fast comparison never hides build cost in either column.
+    sram_csc = CSCMatrix.from_dense(sram_w, pattern)
+    mram_csc = CSCMatrix.from_dense(mram_w, pattern)
+    metrics["timing.kernel.plan_build.sram_ms"] = _metric(
+        _best_of(lambda: KernelPlan.from_csc(sram_csc), repeats),
+        "timing", "ms")
+    metrics["timing.kernel.plan_build.mram_ms"] = _metric(
+        _best_of(lambda: KernelPlan.from_csc(mram_csc), repeats),
+        "timing", "ms")
+    metrics["timing.kernel.plan_build.mram_flat_ms"] = _metric(
+        _best_of(lambda: KernelPlan.from_csc(mram_csc).flat_layout, repeats),
+        "timing", "ms")
 
     csc_w = _make_sparse(rng, (1024, 64), pattern)
     metrics["timing.kernel.csc_encode_ms"] = _metric(
@@ -189,11 +238,89 @@ def collect_timing_metrics(repeats: int = DEFAULT_REPEATS
 
 
 # ---------------------------------------------------------------------------
+# Corpus throughput (per pattern-class x shape x impl)
+# ---------------------------------------------------------------------------
+
+@reentrant(reason="corpus inputs are manifest-pinned and clocks are "
+                  "allowed ambient state; only durations may vary")
+def collect_corpus_metrics(repeats: int = DEFAULT_REPEATS
+                           ) -> Dict[str, Dict[str, object]]:
+    """Gather-family throughput over the sparse-pattern corpus.
+
+    One plan per corpus item, raced across :data:`CORPUS_IMPLS` at a
+    fixed batch.  Two timing views per (item, impl): ``ns_per_nnz``
+    (wall nanoseconds per multiply-accumulate — the size-normalized
+    number that is comparable across shapes and densities) and
+    ``gflops`` (GFLOP-equivalent/s at 2 ops per MAC, gated lower-only
+    via ``direction: decrease``).  Each item's nnz rides along as a
+    model metric, pinning the corpus structure into the baseline.
+    """
+    from ..core.csc import CSCMatrix
+    from ..core.kernels import KernelPlan, spmm_gather
+    from ..corpus import corpus_items, generate
+    from ..sparsity import NMPattern
+
+    rng = np.random.default_rng(1)
+    # Encoding group only (any sparsity accepted): the corpus spans
+    # patterns far outside N:M, so the CSC check runs non-strict.
+    group = NMPattern(16, 16)
+    metrics: Dict[str, Dict[str, object]] = {}
+    for item in corpus_items():
+        weights = generate(item)
+        plan = KernelPlan.from_csc(
+            CSCMatrix.from_dense(weights, group, strict=False))
+        acts = rng.integers(-127, 128, size=(CORPUS_BATCH, item.shape[0]))
+        macs = plan.nnz * CORPUS_BATCH
+        if macs == 0:
+            continue
+        metrics[f"corpus.{item.name}.nnz"] = _metric(
+            plan.nnz, "model", "nnz")
+        for impl in CORPUS_IMPLS:
+            ms = _best_of(
+                lambda impl=impl: spmm_gather(plan, acts, impl=impl),
+                repeats)
+            metrics[f"timing.corpus.{item.name}.{impl}.ns_per_nnz"] = \
+                _metric(ms * 1e6 / macs, "timing", "ns")
+            metrics[f"timing.corpus.{item.name}.{impl}.gflops"] = _metric(
+                2.0 * macs / (ms * 1e6), "timing", "GFLOP/s",
+                rtol=GFLOPS_RTOL, direction="decrease")
+    return metrics
+
+
+def render_corpus_table(metrics: Dict[str, Dict[str, object]]) -> str:
+    """Per-(pattern-class x shape) timing table (the CI artifact)."""
+    from ..corpus import corpus_items
+    from ..harness.reporting import format_table
+
+    rows = []
+    for item in corpus_items():
+        key = f"timing.corpus.{item.name}"
+        if f"{key}.fast.ns_per_nnz" not in metrics:
+            continue
+        fast_ns = metrics[f"{key}.fast.ns_per_nnz"]["value"]
+        flat_ns = metrics[f"{key}.flat.ns_per_nnz"]["value"]
+        rows.append([
+            item.pattern_class, f"{item.shape[0]}x{item.shape[1]}",
+            int(metrics[f"corpus.{item.name}.nnz"]["value"]),
+            fast_ns, flat_ns,
+            metrics[f"{key}.fast.gflops"]["value"],
+            metrics[f"{key}.flat.gflops"]["value"],
+            f"{fast_ns / flat_ns:.2f}x",
+        ])
+    return format_table(
+        ["Class", "Shape", "nnz", "fast ns/nnz", "flat ns/nnz",
+         "fast GFLOP/s", "flat GFLOP/s", "flat speedup"],
+        rows,
+        title=f"Corpus throughput (gather family, batch {CORPUS_BATCH})")
+
+
+# ---------------------------------------------------------------------------
 # The full run
 # ---------------------------------------------------------------------------
 
 def run_bench(repeats: int = DEFAULT_REPEATS,
-              include_timings: bool = True) -> Dict[str, object]:
+              include_timings: bool = True,
+              include_corpus: bool = True) -> Dict[str, object]:
     """Run the whole suite; returns the canonical benchmark document."""
     from ..obs import get_tracer
 
@@ -206,6 +333,9 @@ def run_bench(repeats: int = DEFAULT_REPEATS,
     if include_timings:
         with tracer.span("bench.timing_metrics", repeats=repeats):
             metrics.update(collect_timing_metrics(repeats=repeats))
+        if include_corpus:
+            with tracer.span("bench.corpus_metrics", repeats=repeats):
+                metrics.update(collect_corpus_metrics(repeats=repeats))
     return {
         "schema": BENCH_SCHEMA,
         "repeats": repeats,

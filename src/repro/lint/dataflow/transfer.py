@@ -402,6 +402,16 @@ class Transfer:
 
     def _method_call(self, name: str, base: ast.expr, node: ast.Call,
                      env: Env) -> Interval:
+        if name in ("reduce", "reduceat"):
+            # ``np.add.reduce(at)`` is a (segmented) sum: model it like
+            # ``sum`` over the operand so accumulator contracts stay
+            # live.  Only the add ufunc folds into the depth model —
+            # other ufuncs' reductions fall through to the summary DB.
+            if (isinstance(base, ast.Attribute) and base.attr == "add"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in self.np_names and node.args):
+                return self._reduction(node, (self.eval(node.args[0], env),))
+            return TOP
         if name == "astype":
             value = self.eval(base, env)
             dtype = (node.args[0] if node.args

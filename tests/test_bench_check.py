@@ -86,6 +86,20 @@ class TestCompareMetrics:
         faster = doc({"m": metric(0.1)})
         assert not any(r.failed for r in compare_metrics(faster, base))
 
+    def test_decrease_direction_gates_throughput_drops_only(self):
+        base = doc({"m": metric(10.0, kind="timing",
+                                rtol=0.75, direction="decrease")})
+        # Throughput gains (any size) and small dips pass...
+        assert not any(r.failed for r in compare_metrics(
+            doc({"m": metric(100.0)}), base))
+        assert not any(r.failed for r in compare_metrics(
+            doc({"m": metric(3.0)}), base))
+        # ...but a drop beyond the tolerance fails.
+        (bad,) = [r for r in compare_metrics(
+            doc({"m": metric(1.0)}), base) if r.failed]
+        assert bad.name == "m"
+        assert bad.status == "regressed"
+
     def test_zero_baseline_uses_absolute_delta(self):
         base = doc({"m": metric(0.0)})
         assert not any(r.failed for r in compare_metrics(

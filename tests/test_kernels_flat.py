@@ -1,0 +1,257 @@
+"""Unit suite for the ``flat`` kernel tier's machinery.
+
+The differential suite already proves flat == reference == fast on the
+shared sweep; this file pins the pieces behind that equality: the nnz
+bucket partition (optimal padding under the bucket cap), the fused
+reduceat layout, the working-set-budgeted batch blocking, and the
+bounded workspace pool (reuse, eviction, mixed shapes, thread safety).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.csc import CSCMatrix
+from repro.core.kernels import (FLAT_BATCH_BLOCK, FLAT_MAX_BUCKETS,
+                                FLAT_WORKSET_ELEMS, WORKSPACE_MAX_ENTRIES,
+                                KernelPlan, _flat_block,
+                                _partition_column_counts,
+                                _workspace_capacity, _WorkspaceCache,
+                                clear_workspaces, spmm_bitserial,
+                                spmm_gather, workspace_stats)
+from repro.sparsity import NMPattern
+
+GROUP = NMPattern(16, 16)   # encoding group only: any sparsity accepted
+
+
+def plan_for(weights):
+    return KernelPlan.from_csc(
+        CSCMatrix.from_dense(np.asarray(weights, dtype=np.int64), GROUP,
+                             strict=False))
+
+
+def skewed_weights(rng, in_dim, out_dim):
+    """A deliberately skewed column-nnz histogram (flat's target case)."""
+    w = np.zeros((in_dim, out_dim), dtype=np.int64)
+    for c in range(out_dim):
+        nnz = min(in_dim, 1 + (c * c) % (in_dim // 2 + 1))
+        rows = rng.permutation(in_dim)[:nnz]
+        signs = rng.integers(0, 2, size=nnz) * 2 - 1
+        w[rows, c] = rng.integers(1, 128, size=nnz) * signs
+    return w
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xF1A7)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    clear_workspaces()
+    yield
+    clear_workspaces()
+
+
+def padded_work(counts, segments):
+    return sum(max(counts[s:e]) * (e - s) for s, e in segments)
+
+
+class TestBucketPartition:
+    def test_few_distinct_counts_zero_waste(self):
+        counts = np.array([2, 2, 2, 5, 5, 9], dtype=np.int64)
+        segments = _partition_column_counts(counts, FLAT_MAX_BUCKETS)
+        assert segments == [(0, 3), (3, 5), (5, 6)]
+        assert padded_work(counts, segments) == 2 * 3 + 5 * 2 + 9
+
+    def test_segments_tile_the_sorted_columns(self, rng):
+        counts = np.sort(rng.integers(1, 200, size=300))
+        segments = _partition_column_counts(counts, FLAT_MAX_BUCKETS)
+        assert 1 <= len(segments) <= FLAT_MAX_BUCKETS
+        assert segments[0][0] == 0 and segments[-1][1] == len(counts)
+        for (_, e0), (s1, _) in zip(segments, segments[1:]):
+            assert e0 == s1
+
+    def test_dp_beats_any_equal_width_split(self, rng):
+        """The DP's padded work is <= a naive equal-column split's."""
+        counts = np.sort(rng.integers(1, 500, size=257))
+        segments = _partition_column_counts(counts, 4)
+        bounds = np.linspace(0, len(counts), 5).astype(int)
+        naive = list(zip(bounds[:-1], bounds[1:]))
+        assert padded_work(counts, segments) <= padded_work(counts, naive)
+
+    def test_empty_input(self):
+        assert _partition_column_counts(np.array([], dtype=np.int64), 8) == []
+
+
+class TestFlatStructures:
+    def test_buckets_cover_each_nonempty_column_once(self, rng):
+        plan = plan_for(skewed_weights(rng, 96, 40))
+        counts = np.diff(plan.col_ptr)
+        covered = np.concatenate([b.cols for b in plan.flat_buckets])
+        np.testing.assert_array_equal(np.sort(covered),
+                                      np.flatnonzero(counts))
+
+    def test_bucket_padding_is_bucket_local_and_inert(self, rng):
+        plan = plan_for(skewed_weights(rng, 96, 40))
+        counts = np.diff(plan.col_ptr)
+        for bucket in plan.flat_buckets:
+            width = bucket.rows.shape[0]
+            assert width == counts[bucket.cols].max()
+            for j, c in enumerate(bucket.cols):
+                pad = int(width - counts[c])
+                if pad:
+                    np.testing.assert_array_equal(bucket.rows[-pad:, j], 0)
+                    np.testing.assert_array_equal(bucket.vals[-pad:, j], 0)
+
+    def test_layout_segments_reconstruct_the_matrix(self, rng):
+        w = skewed_weights(rng, 64, 24)
+        plan = plan_for(w)
+        layout = plan.flat_layout
+        assert layout.rows.shape == layout.vals.shape
+        assert layout.widths.sum() == layout.rows.shape[0]
+        np.testing.assert_array_equal(
+            layout.starts, np.concatenate(([0], np.cumsum(layout.widths)[:-1])))
+        rebuilt = np.zeros_like(w)
+        for c, start, width in zip(layout.cols, layout.starts, layout.widths):
+            rows = layout.rows[start:start + width]
+            vals = layout.vals[start:start + width]
+            rebuilt[rows[vals != 0], c] = vals[vals != 0]
+        np.testing.assert_array_equal(rebuilt, w)
+
+    def test_empty_plan_has_no_layout(self):
+        plan = plan_for(np.zeros((16, 4)))
+        assert plan.flat_buckets == ()
+        assert plan.flat_layout is None
+
+    def test_layout_is_cached_on_the_plan(self, rng):
+        plan = plan_for(skewed_weights(rng, 32, 8))
+        assert plan.flat_layout is plan.flat_layout
+
+    def test_flat_block_budget(self):
+        assert _flat_block(16, 10) == 16                  # batch-limited
+        assert _flat_block(1024, 10) == FLAT_BATCH_BLOCK  # cap-limited
+        wide = FLAT_WORKSET_ELEMS // 4
+        assert _flat_block(1024, wide) == 4               # budget-limited
+        assert _flat_block(1024, 10 * FLAT_WORKSET_ELEMS) == 1
+
+
+class TestFlatKernelsOnSkew:
+    """Bit-exactness on the histograms the shared sweep doesn't hit."""
+
+    def test_gather_matches_dense(self, rng):
+        w = skewed_weights(rng, 96, 40)
+        plan = plan_for(w)
+        for batch in (1, 3, FLAT_BATCH_BLOCK, FLAT_BATCH_BLOCK + 5):
+            x = rng.integers(-128, 128, size=(batch, 96), dtype=np.int64)
+            np.testing.assert_array_equal(
+                spmm_gather(plan, x, impl="flat"), x @ w)
+
+    def test_bitserial_matches_dense(self, rng):
+        w = skewed_weights(rng, 96, 40)
+        plan = plan_for(w)
+        for batch in (1, 3, 17):
+            x = rng.integers(-128, 128, size=(batch, 96), dtype=np.int64)
+            np.testing.assert_array_equal(
+                spmm_bitserial(plan, x, 8, impl="flat"), x @ w)
+
+    def test_single_dense_column(self, rng):
+        w = np.zeros((48, 3), dtype=np.int64)
+        w[:, 1] = rng.integers(1, 128, size=48)
+        plan = plan_for(w)
+        x = rng.integers(-128, 128, size=(5, 48), dtype=np.int64)
+        np.testing.assert_array_equal(spmm_gather(plan, x, impl="flat"),
+                                      x @ w)
+
+
+class TestWorkspacePool:
+    def test_capacity_classes_are_powers_of_two(self):
+        assert _workspace_capacity(1) == 1
+        assert _workspace_capacity(2) == 2
+        assert _workspace_capacity(3) == 4
+        assert _workspace_capacity(1025) == 2048
+
+    def test_repeated_calls_reuse_buffers(self, rng):
+        w = skewed_weights(rng, 64, 16)
+        plan = plan_for(w)
+        x = rng.integers(-128, 128, size=(8, 64), dtype=np.int64)
+        spmm_gather(plan, x, impl="flat")
+        misses_after_first = workspace_stats()["misses"]
+        for _ in range(5):
+            spmm_gather(plan, x, impl="flat")
+        stats = workspace_stats()
+        assert stats["misses"] == misses_after_first   # no new allocations
+        assert stats["hits"] >= 10                     # 2 buffers x 5 calls
+
+    def test_mixed_shapes_stay_bounded(self, rng):
+        shapes = [(32, 4), (64, 8), (128, 16), (256, 24), (96, 12),
+                  (160, 20), (48, 6), (224, 28), (80, 10), (192, 22)]
+        plans = [plan_for(skewed_weights(rng, i, o)) for i, o in shapes]
+        for _ in range(3):
+            for (i, _o), plan in zip(shapes, plans):
+                x = rng.integers(-128, 128, size=(8, i), dtype=np.int64)
+                spmm_gather(plan, x, impl="flat")
+        stats = workspace_stats()
+        assert stats["buffers"] <= WORKSPACE_MAX_ENTRIES
+
+    def test_eviction_is_lru_and_counted(self):
+        pool = _WorkspaceCache(max_entries=2)
+        a, b, c = (np.empty(4, dtype=np.int64) for _ in range(3))
+        pool.checkin(a)          # order: [4]
+        big = np.empty(64, dtype=np.int64)
+        pool.checkin(big)        # order: [4, 64]
+        pool.checkin(b)          # class 4 refreshed -> evict LRU class (64)
+        pool.checkin(c)          # over budget again -> evict from class 4
+        stats = pool.stats()
+        assert stats["buffers"] == 2
+        assert stats["classes"] == 1
+        assert stats["evictions"] == 2
+        # the big class was evicted, so a 64-elem checkout is a miss
+        pool.checkout(64)
+        assert pool.stats()["misses"] == 1
+        # ...while the small class still serves hits
+        pool.checkout(4)
+        assert pool.stats()["hits"] == 1
+
+    def test_checkout_is_exclusive(self):
+        pool = _WorkspaceCache()
+        pool.checkin(np.empty(8, dtype=np.int64))
+        first = pool.checkout(8)
+        second = pool.checkout(8)
+        assert first is not second
+
+    def test_clear_resets_everything(self, rng):
+        w = skewed_weights(rng, 32, 8)
+        plan = plan_for(w)
+        x = rng.integers(-128, 128, size=(4, 32), dtype=np.int64)
+        spmm_gather(plan, x, impl="flat")
+        clear_workspaces()
+        assert workspace_stats() == {"buffers": 0, "classes": 0, "hits": 0,
+                                     "misses": 0, "evictions": 0}
+
+    def test_concurrent_flat_matmuls_are_correct(self, rng):
+        """Thread hammer: shared pool, private buffers, exact results."""
+        w = skewed_weights(rng, 64, 16)
+        plan = plan_for(w)
+        inputs = [rng.integers(-128, 128, size=(8, 64), dtype=np.int64)
+                  for _ in range(8)]
+        expected = [x @ w for x in inputs]
+        errors = []
+
+        def worker(idx):
+            try:
+                for _ in range(20):
+                    got = spmm_gather(plan, inputs[idx], impl="flat")
+                    np.testing.assert_array_equal(got, expected[idx])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(inputs))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert workspace_stats()["buffers"] <= WORKSPACE_MAX_ENTRIES
